@@ -1,0 +1,34 @@
+"""Shared benchmark fixtures.
+
+Each bench regenerates one table/figure of the paper: it runs the
+needed campaign once (``benchmark.pedantic(rounds=1)`` — these are
+simulation campaigns, not microbenchmarks), prints the paper-style
+table, and writes it under ``benchmarks/results/`` for EXPERIMENTS.md.
+
+Campaign size is controlled by ``REPRO_SCALE`` (quick | full).
+"""
+
+import pytest
+
+from repro.experiments.config import get_scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return get_scale()
+
+
+@pytest.fixture
+def run_report(benchmark):
+    """Run a report builder once under pytest-benchmark, print + save."""
+
+    def _run(builder, *args, **kwargs):
+        report = benchmark.pedantic(
+            lambda: builder(*args, **kwargs), rounds=1, iterations=1)
+        path = report.save()
+        print()
+        print(report.render())
+        print(f"[saved to {path}]")
+        return report
+
+    return _run

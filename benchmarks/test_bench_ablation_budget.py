@@ -1,0 +1,7 @@
+"""Ablation A2 — credit budget sweep."""
+
+from repro.experiments import figures
+
+
+def test_ablation_budget(run_report, scale):
+    run_report(figures.ablation_budget_report, scale)

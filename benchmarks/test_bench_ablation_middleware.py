@@ -1,0 +1,7 @@
+"""Ablation A3 — middleware timeout knobs."""
+
+from repro.experiments import figures
+
+
+def test_ablation_middleware(run_report, scale):
+    run_report(figures.ablation_middleware_report, scale)

@@ -1,0 +1,7 @@
+"""Ablation A1 — trigger threshold sweep."""
+
+from repro.experiments import figures
+
+
+def test_ablation_threshold(run_report, scale):
+    run_report(figures.ablation_threshold_report, scale)

@@ -1,0 +1,7 @@
+"""Figure 1 — example BoT execution profile with tail."""
+
+from repro.experiments import figures
+
+
+def test_figure1(run_report, scale):
+    run_report(figures.figure1_report, scale)

@@ -1,0 +1,7 @@
+"""Figure 2 — tail slowdown CDF (BOINC vs XWHEP)."""
+
+from repro.experiments import figures
+
+
+def test_figure2(run_report, scale):
+    run_report(figures.figure2_report, scale)

@@ -1,0 +1,7 @@
+"""Figure 4 — Tail Removal Efficiency CCDFs (18 combos)."""
+
+from repro.experiments import figures
+
+
+def test_figure4(run_report, scale):
+    run_report(figures.figure4_report, scale)

@@ -1,0 +1,7 @@
+"""Figure 5 — credit consumption per strategy combo."""
+
+from repro.experiments import figures
+
+
+def test_figure5(run_report, scale):
+    run_report(figures.figure5_report, scale)

@@ -1,0 +1,7 @@
+"""Figure 6 — completion times with/without SpeQuloS."""
+
+from repro.experiments import figures
+
+
+def test_figure6(run_report, scale):
+    run_report(figures.figure6_report, scale)

@@ -1,0 +1,7 @@
+"""Figure 7 — execution stability repartitions."""
+
+from repro.experiments import figures
+
+
+def test_figure7(run_report, scale):
+    run_report(figures.figure7_report, scale)

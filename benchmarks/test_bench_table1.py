@@ -1,0 +1,7 @@
+"""Table 1 — tail task/time fractions per DCI class."""
+
+from repro.experiments import figures
+
+
+def test_table1(run_report, scale):
+    run_report(figures.table1_report, scale)

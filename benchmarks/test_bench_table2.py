@@ -1,0 +1,7 @@
+"""Table 2 — BE-DCI trace statistics (synthesis targets vs measured)."""
+
+from repro.experiments import figures
+
+
+def test_table2(run_report):
+    run_report(figures.table2_report)

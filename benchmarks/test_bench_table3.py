@@ -1,0 +1,7 @@
+"""Table 3 — BoT workload characteristics."""
+
+from repro.experiments import figures
+
+
+def test_table3(run_report):
+    run_report(figures.table3_report)

@@ -1,0 +1,7 @@
+"""Table 4 — prediction success rates."""
+
+from repro.experiments import figures
+
+
+def test_table4(run_report, scale):
+    run_report(figures.table4_report, scale)

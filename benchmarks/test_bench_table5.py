@@ -1,0 +1,7 @@
+"""Table 5 — EDGI deployment task accounting."""
+
+from repro.experiments import figures
+
+
+def test_table5(run_report):
+    run_report(figures.table5_report)

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""The EDGI production deployment, in simulation (§5, Table 5).
+
+Reproduces the paper's Figure 8 topology: two XtremWeb-HEP desktop
+grids at University Paris-XI (XW@LAL over lab desktops, XW@LRI
+harvesting Grid'5000 best-effort nodes), EGI grid users bridged onto
+XW@LAL through the 3G-Bridge, and one SpeQuloS instance provisioning
+QoS cloud workers from StratusLab (for LAL) and Amazon EC2 (for LRI).
+
+A stream of RANDOM-class BoTs flows through the deployment; half of
+them purchase QoS.  The output is Table 5's accounting: tasks executed
+per infrastructure component.
+
+Run:  python examples/edgi_deployment.py
+"""
+
+from repro.deployment.edgi import EDGIDeployment
+
+
+def main() -> None:
+    print("building the Paris-XI EDGI deployment "
+          "(2 DGs + 3G-bridge + 2 clouds + SpeQuloS)...")
+    dep = EDGIDeployment(seed=5)
+
+    print("driving a 2-day BoT stream (12 RANDOM BoTs, 25% via EGI "
+          "bridge, 50% with QoS)...\n")
+    summary = dep.run(duration_days=2.0, n_bots=12)
+
+    print(f"{'component':12s} {'#tasks':>8s}   role")
+    print("-" * 60)
+    roles = {
+        "XW@LAL": "desktop grid (lab PCs), runs native + EGI BoTs",
+        "XW@LRI": "Grid'5000 best-effort harvest (<= 200 nodes)",
+        "EGI": "grid jobs bridged to XW@LAL via 3G-Bridge",
+        "StratusLab": "QoS cloud workers for XW@LAL (SpeQuloS)",
+        "EC2": "QoS cloud workers for XW@LRI (SpeQuloS)",
+    }
+    for name, count in summary.items():
+        print(f"{name:12s} {count:8d}   {roles[name]}")
+
+    dg = summary["XW@LAL"] + summary["XW@LRI"]
+    cloud = summary["StratusLab"] + summary["EC2"]
+    print(f"\ncloud share of all executed tasks: "
+          f"{100.0 * cloud / (dg + cloud):.1f} % — the BE-DCIs carry the "
+          "bulk, the clouds only the QoS-critical fraction, matching the "
+          "paper's production numbers (Table 5: 686k DG tasks vs ~4k "
+          "cloud tasks).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Quickstart: one BoT on a volatile desktop grid, with and without
+SpeQuloS.
+
+Reproduces the paper's core demonstration in one page: a SMALL-class
+Bag-of-Tasks executed through the BOINC middleware model on the
+SETI@home-like availability trace shows a long *tail* (the last few
+tasks take a disproportionate share of the makespan); enabling SpeQuloS
+with the recommended ``9C-C-R`` strategy removes most of it for a small
+cloud bill.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis.metrics import tail_removal_efficiency
+from repro.experiments import ExecutionConfig, run_execution
+
+
+def main() -> None:
+    base = ExecutionConfig(
+        trace="seti",          # Table 2's volunteer-computing trace
+        middleware="boinc",    # replication + quorum + 1-day deadline
+        category="SMALL",      # 1000 long tasks (scaled down below)
+        seed=2012,
+        bot_size=250,          # laptop-friendly scale
+    )
+
+    print("running baseline (no SpeQuloS)...")
+    plain = run_execution(base)
+    print(f"  makespan          : {plain.makespan:10.0f} s")
+    print(f"  ideal completion  : {plain.ideal_time:10.0f} s "
+          "(tc(0.9)/0.9, paper §2.2)")
+    print(f"  tail slowdown     : {plain.slowdown:10.2f} x")
+    print(f"  tasks in tail     : {plain.pct_tasks_in_tail:10.1f} %")
+    print(f"  time in tail      : {plain.pct_time_in_tail:10.1f} %")
+
+    print("\nrunning the same execution with SpeQuloS (9C-C-R)...")
+    speq = run_execution(base.with_strategy("9C-C-R"))
+    print(f"  makespan          : {speq.makespan:10.0f} s")
+    print(f"  cloud workers     : {speq.workers_launched:10d}")
+    print(f"  credits spent     : {speq.credits_spent:10.1f} of "
+          f"{speq.credits_provisioned:.1f} provisioned "
+          f"({speq.credits_used_pct:.1f} %)")
+
+    speedup = plain.makespan / speq.makespan
+    tre = tail_removal_efficiency(plain.makespan, speq.makespan,
+                                  plain.ideal_time)
+    print(f"\nspeedup              : {speedup:10.2f} x")
+    print(f"tail removal         : {tre:10.1f} %")
+    print("\n(the paper reports speedups beyond 2x on volatile DCIs while"
+          "\n offloading < 2.5 % of the workload to the cloud — §4.3)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""SpeQuloS reproduction — QoS for Bag-of-Tasks on best-effort DCIs.
+
+Public entry points:
+
+* :mod:`repro.infra` — BE-DCI availability substrate (Table 2 traces);
+* :mod:`repro.workload` — BoT workloads (Table 3 categories);
+* :mod:`repro.middleware` — BOINC / XtremWeb-HEP simulators;
+* :mod:`repro.cloud` — simulated IaaS providers and cloud workers;
+* :mod:`repro.core` — the SpeQuloS service itself;
+* :mod:`repro.analysis` — tail metrics;
+* :mod:`repro.experiments` — campaign runner and figure/table builders;
+* :mod:`repro.deployment` — the EDGI multi-infrastructure scenario.
+
+Quickstart::
+
+    from repro.experiments import ExecutionConfig, run_execution
+    base = ExecutionConfig(trace="seti", middleware="xwhep",
+                           category="SMALL", seed=42)
+    res = run_execution(base)
+    speq = run_execution(base.with_strategy("9C-C-R"))
+    print(res.makespan, "->", speq.makespan)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,31 @@
+"""Metrics and distribution helpers used across the evaluation.
+
+Implements the paper's measures verbatim: ideal completion time and
+tail slowdown (§2.2), tail task/time fractions (Table 1), Tail Removal
+Efficiency (§4.2.1), completion-time stability (§4.3.2), and the
+prediction success criterion (§4.3.3).
+"""
+
+from repro.analysis.cdf import ccdf, ecdf, histogram_fractions
+from repro.analysis.metrics import (
+    CompletionProfile,
+    ideal_completion_time,
+    normalized_times,
+    tail_fraction_of_tasks,
+    tail_fraction_of_time,
+    tail_removal_efficiency,
+    tail_slowdown,
+)
+
+__all__ = [
+    "CompletionProfile",
+    "ccdf",
+    "ecdf",
+    "histogram_fractions",
+    "ideal_completion_time",
+    "normalized_times",
+    "tail_fraction_of_tasks",
+    "tail_fraction_of_time",
+    "tail_removal_efficiency",
+    "tail_slowdown",
+]

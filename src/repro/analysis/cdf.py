@@ -1,0 +1,74 @@
+"""Empirical distribution helpers for the figure benches.
+
+The paper's figures are CDFs (Figure 2), complementary CDFs (Figure 4)
+and binned repartition functions (Figure 7); these helpers turn raw
+sample vectors into the plotted series so benches can print them as
+text tables.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ecdf", "ccdf", "histogram_fractions", "sample_series"]
+
+
+def ecdf(samples: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF: returns (sorted values, P[X <= value])."""
+    x = np.sort(np.asarray(list(samples), dtype=float))
+    if x.size == 0:
+        return x, x
+    y = np.arange(1, x.size + 1) / x.size
+    return x, y
+
+
+def ccdf(samples: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Complementary CDF: returns (sorted values, P[X > value])."""
+    x, y = ecdf(samples)
+    return x, 1.0 - y
+
+
+def ccdf_at(samples: Sequence[float], thresholds: Sequence[float],
+            strict: bool = False) -> np.ndarray:
+    """P[X >= threshold] (or strict >) for each threshold.
+
+    Figure 4 reads "fraction of BoT executions where tail removal
+    efficiency is greater than P"; with efficiencies saturating at
+    exactly 100 %, the non-strict version keeps the mass at 100 visible.
+    """
+    x = np.sort(np.asarray(list(samples), dtype=float))
+    th = np.asarray(list(thresholds), dtype=float)
+    if x.size == 0:
+        return np.zeros_like(th)
+    side = "right" if strict else "left"
+    idx = np.searchsorted(x, th, side=side)
+    return 1.0 - idx / x.size
+
+
+def histogram_fractions(samples: Sequence[float], lo: float, hi: float,
+                        bins: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Fraction of samples per bin over [lo, hi] (Figure 7 repartition).
+
+    Returns (bin centers, fraction of all samples in each bin).
+    Samples outside the range land in the edge bins, so the fractions
+    always sum to 1.
+    """
+    if bins <= 0 or hi <= lo:
+        raise ValueError("need bins > 0 and hi > lo")
+    arr = np.clip(np.asarray(list(samples), dtype=float), lo, hi)
+    counts, edges = np.histogram(arr, bins=bins, range=(lo, hi))
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    total = counts.sum()
+    frac = counts / total if total else counts.astype(float)
+    return centers, frac
+
+
+def sample_series(x: np.ndarray, y: np.ndarray, n_points: int = 25
+                  ) -> Tuple[np.ndarray, np.ndarray]:
+    """Downsample a monotone series for compact text output."""
+    if x.size <= n_points:
+        return x, y
+    idx = np.unique(np.linspace(0, x.size - 1, n_points).astype(int))
+    return x[idx], y[idx]

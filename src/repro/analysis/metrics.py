@@ -1,0 +1,153 @@
+"""BoT execution metrics (paper §2.2, §4.2.1, §4.3).
+
+Central object: a :class:`CompletionProfile` — the sorted task
+completion instants of one BoT execution, measured from BoT submission.
+Everything the paper reports derives from it:
+
+* ``tc(x)``: elapsed time when fraction ``x`` of the BoT is completed;
+* *ideal completion time* ``tc(0.9) / 0.9`` — the makespan the
+  execution would reach if the completion rate observed at 90 % were
+  sustained (§2.2, Figure 1);
+* *tail slowdown* = actual / ideal (Figure 2);
+* *tail fractions* (Table 1): tasks completing after the ideal time,
+  and the share of the makespan spent past the ideal time;
+* *Tail Removal Efficiency* (Figure 4):
+  ``TRE = 1 - (t_speq - t_ideal) / (t_nospeq - t_ideal)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = [
+    "CompletionProfile",
+    "ideal_completion_time",
+    "tail_slowdown",
+    "tail_fraction_of_tasks",
+    "tail_fraction_of_time",
+    "tail_removal_efficiency",
+    "normalized_times",
+]
+
+#: Completion fraction at which the steady completion rate is measured
+#: (§2.2: "the ideal completion time is computed at 90 % of completion
+#: because ... the BoT completion rate remains approximately constant
+#: up to this stage").
+IDEAL_FRACTION = 0.9
+
+
+@dataclass(frozen=True)
+class CompletionProfile:
+    """Sorted completion times (relative to submission) of one BoT run."""
+
+    times: np.ndarray
+
+    @staticmethod
+    def from_times(times: Sequence[float]) -> "CompletionProfile":
+        arr = np.sort(np.asarray(list(times), dtype=float))
+        if arr.size == 0:
+            raise ValueError("a completion profile needs at least one task")
+        if arr[0] < 0:
+            raise ValueError("completion times must be >= 0")
+        return CompletionProfile(arr)
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return int(self.times.shape[0])
+
+    @property
+    def makespan(self) -> float:
+        """Actual BoT completion time (last task)."""
+        return float(self.times[-1])
+
+    def tc(self, fraction: float) -> float:
+        """Elapsed time at which ``fraction`` of the BoT is completed.
+
+        ``tc(x)`` is the completion instant of task ``ceil(x*n)``
+        (1-based), matching the paper's discrete completion-ratio
+        curve of Figure 1.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        k = max(1, int(math.ceil(fraction * self.size)))
+        return float(self.times[k - 1])
+
+    def completed_at(self, t: float) -> int:
+        """Number of tasks completed by time ``t``."""
+        return int(np.searchsorted(self.times, t, side="right"))
+
+
+def ideal_completion_time(profile: CompletionProfile,
+                          fraction: float = IDEAL_FRACTION) -> float:
+    """``tc(0.9) / 0.9`` — the no-tail makespan extrapolation (§2.2)."""
+    return profile.tc(fraction) / fraction
+
+
+def tail_slowdown(profile: CompletionProfile,
+                  fraction: float = IDEAL_FRACTION) -> float:
+    """Actual makespan divided by the ideal completion time (Figure 2).
+
+    1.0 means no tail; the paper observes medians around 1.3 and worst
+    cases of 4 (XWHEP) to 10 (BOINC).
+    """
+    ideal = ideal_completion_time(profile, fraction)
+    if ideal <= 0:
+        return 1.0
+    return max(1.0, profile.makespan / ideal)
+
+
+def tail_fraction_of_tasks(profile: CompletionProfile,
+                           fraction: float = IDEAL_FRACTION) -> float:
+    """Share of tasks completing after the ideal time (Table 1, "% of
+    BoT in tail")."""
+    ideal = ideal_completion_time(profile, fraction)
+    in_tail = profile.size - profile.completed_at(ideal)
+    return in_tail / profile.size
+
+
+def tail_fraction_of_time(profile: CompletionProfile,
+                          fraction: float = IDEAL_FRACTION) -> float:
+    """Share of the makespan spent past the ideal time (Table 1, "% of
+    execution time in tail")."""
+    ideal = ideal_completion_time(profile, fraction)
+    if profile.makespan <= 0:
+        return 0.0
+    return max(0.0, profile.makespan - ideal) / profile.makespan
+
+
+def tail_removal_efficiency(t_nospeq: float, t_speq: float,
+                            t_ideal: float) -> float:
+    """``TRE = 1 - (t_speq - t_ideal)/(t_nospeq - t_ideal)`` (§4.2.1).
+
+    100 % ⇒ SpeQuloS removed the tail entirely; 0 % ⇒ no improvement.
+    Negative values (SpeQuloS made it worse) are clamped to 0 and a
+    completion faster than ideal is clamped to 100, matching the
+    percentage axis of Figure 4.  Raises if the baseline had no tail
+    (``t_nospeq <= t_ideal``) — such executions are excluded upstream.
+    """
+    denom = t_nospeq - t_ideal
+    if denom <= 0:
+        raise ValueError("baseline execution has no tail; TRE undefined")
+    tre = 1.0 - (t_speq - t_ideal) / denom
+    return float(min(1.0, max(0.0, tre)) * 100.0)
+
+
+def normalized_times(makespans: Sequence[float]) -> np.ndarray:
+    """Makespans divided by their environment mean (Figure 7).
+
+    The paper plots the repartition of completion times normalized by
+    the average observed in the same environment: a distribution
+    concentrated around 1 denotes stable executions.
+    """
+    arr = np.asarray(list(makespans), dtype=float)
+    if arr.size == 0:
+        return arr
+    mean = float(np.mean(arr))
+    if mean <= 0:
+        raise ValueError("makespans must be positive")
+    return arr / mean

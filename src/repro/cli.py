@@ -1,0 +1,160 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Four subcommands cover the day-to-day uses of the reproduction:
+
+* ``run``     — one BoT execution (optionally with SpeQuloS), printing
+  the metrics the paper reports for it;
+* ``compare`` — a paired with/without-SpeQuloS comparison (speedup,
+  TRE, credit consumption);
+* ``report``  — regenerate any table/figure of the paper by name
+  (``figure1`` .. ``figure7``, ``table1`` .. ``table5``, ``ablation_*``);
+* ``trace``   — synthesize a Table 2 trace and print its measured
+  statistics, or export it to the FTA-style text format.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+_REPORTS = ("figure1", "figure2", "figure4", "figure5", "figure6",
+            "figure7", "table1", "table2", "table3", "table4", "table5",
+            "ablation_threshold", "ablation_budget", "ablation_middleware")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SpeQuloS reproduction: QoS for Bag-of-Tasks on "
+                    "best-effort distributed computing infrastructures")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    runp = sub.add_parser("run", help="simulate one BoT execution")
+    _add_env_args(runp)
+    runp.add_argument("--strategy", default=None,
+                      help="SpeQuloS combo (e.g. 9C-C-R); omit for none")
+    runp.add_argument("--credit-fraction", type=float, default=0.10,
+                      help="credits as a fraction of the workload")
+
+    cmp_ = sub.add_parser("compare",
+                          help="paired baseline vs SpeQuloS execution")
+    _add_env_args(cmp_)
+    cmp_.add_argument("--strategy", default="9C-C-R")
+
+    rep = sub.add_parser("report", help="regenerate a paper table/figure")
+    rep.add_argument("name", choices=_REPORTS)
+    rep.add_argument("--save", action="store_true",
+                     help="also write under benchmarks/results/")
+
+    tr = sub.add_parser("trace", help="synthesize and inspect a trace")
+    tr.add_argument("name", help="trace name (seti, nd, g5klyo, ...)")
+    tr.add_argument("--days", type=float, default=4.0)
+    tr.add_argument("--max-nodes", type=int, default=None)
+    tr.add_argument("--seed", type=int, default=0)
+    tr.add_argument("--export", metavar="PATH", default=None,
+                    help="write the trace in FTA-style text format")
+    return parser
+
+
+def _add_env_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--trace", default="seti")
+    p.add_argument("--middleware", default="boinc",
+                   choices=("boinc", "xwhep"))
+    p.add_argument("--category", default="SMALL",
+                   choices=("SMALL", "BIG", "RANDOM"))
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--bot-size", type=int, default=None,
+                   help="override the Table 3 task count")
+
+
+def _print_result(res, label: str) -> None:
+    print(f"{label}:")
+    print(f"  makespan        {res.makespan:12.0f} s"
+          f"{'   (censored at horizon)' if res.censored else ''}")
+    print(f"  ideal time      {res.ideal_time:12.0f} s")
+    print(f"  tail slowdown   {res.slowdown:12.2f} x")
+    print(f"  tasks in tail   {res.pct_tasks_in_tail:12.1f} %")
+    if res.credits_provisioned > 0:
+        print(f"  cloud workers   {res.workers_launched:12d}")
+        print(f"  credits spent   {res.credits_spent:12.1f} "
+              f"({res.credits_used_pct:.1f} % of "
+              f"{res.credits_provisioned:.0f})")
+
+
+def _cmd_run(args) -> int:
+    from repro.experiments import ExecutionConfig, run_execution
+    cfg = ExecutionConfig(trace=args.trace, middleware=args.middleware,
+                          category=args.category, seed=args.seed,
+                          strategy=args.strategy,
+                          credit_fraction=args.credit_fraction,
+                          bot_size=args.bot_size)
+    _print_result(run_execution(cfg), cfg.label())
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.analysis.metrics import tail_removal_efficiency
+    from repro.experiments import ExecutionConfig, run_execution
+    base_cfg = ExecutionConfig(trace=args.trace, middleware=args.middleware,
+                               category=args.category, seed=args.seed,
+                               bot_size=args.bot_size)
+    base = run_execution(base_cfg)
+    speq = run_execution(base_cfg.with_strategy(args.strategy))
+    _print_result(base, "baseline (no SpeQuloS)")
+    _print_result(speq, f"SpeQuloS {args.strategy}")
+    print(f"\nspeedup: {base.makespan / max(speq.makespan, 1e-9):.2f}x")
+    if base.makespan - base.ideal_time > 120.0:
+        tre = tail_removal_efficiency(base.makespan, speq.makespan,
+                                      base.ideal_time)
+        print(f"tail removal efficiency: {tre:.1f} %")
+    else:
+        print("tail removal efficiency: n/a (baseline shows no tail)")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.experiments import figures
+    builder = getattr(figures, f"{args.name}_report")
+    report = builder()
+    print(report.render())
+    if args.save:
+        print(f"saved to {report.save()}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.infra.catalog import get_trace_spec
+    from repro.infra.fta import save_trace
+    from repro.infra.stats import measure_trace
+    spec = get_trace_spec(args.name)
+    horizon = args.days * 86400.0
+    rng = np.random.default_rng(args.seed)
+    nodes = spec.materialize(rng, horizon, max_nodes=args.max_nodes)
+    stats = measure_trace(nodes, horizon)
+    print(f"trace {spec.name} ({spec.dci_class}), {args.days:g} days, "
+          f"{len(nodes)} nodes materialized")
+    print(f"  paper target : mean {spec.mean_nodes:.0f}, "
+          f"av quartiles {spec.avail_quartiles}")
+    print(f"  measured     : {stats.row()}")
+    if args.export:
+        save_trace(nodes, args.export,
+                   header=f"synthesized {spec.name}, seed {args.seed}, "
+                          f"{args.days:g} days")
+        print(f"  exported to {args.export}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {"run": _cmd_run, "compare": _cmd_compare,
+               "report": _cmd_report, "trace": _cmd_trace}[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""Simulated IaaS cloud substrate.
+
+SpeQuloS provisions *Cloud workers* — virtual instances running the
+desktop-grid worker software — through the libcloud library, which
+unifies access to EC2, Eucalyptus, Rackspace, OpenNebula, StratusLab,
+Nimbus and Grid'5000 (paper §3.7).  This package mirrors that stack in
+simulation: a provider-agnostic :class:`~repro.cloud.api.ComputeDriver`
+interface, a registry of named providers with realistic boot latencies,
+and the worker-side agents implementing the three deployment strategies
+of §3.5 (Flat / Reschedule / Cloud duplication).
+"""
+
+from repro.cloud.api import CloudError, CloudInstance, ComputeDriver, QuotaExceeded
+from repro.cloud.registry import PROVIDER_NAMES, get_driver, list_providers
+from repro.cloud.worker import (
+    CloudDuplicationCoordinator,
+    CloudWorkerHandle,
+    RescheduleAgent,
+)
+
+__all__ = [
+    "CloudError",
+    "CloudInstance",
+    "ComputeDriver",
+    "QuotaExceeded",
+    "PROVIDER_NAMES",
+    "get_driver",
+    "list_providers",
+    "CloudWorkerHandle",
+    "RescheduleAgent",
+    "CloudDuplicationCoordinator",
+]

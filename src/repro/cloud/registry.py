@@ -1,0 +1,54 @@
+"""Named cloud providers (the set SpeQuloS supports, paper §3.7).
+
+"Thanks to the versatility of the libcloud library, SpeQuloS supports
+the following IaaS Cloud technologies: Amazon EC2 and Eucalyptus,
+Rackspace, OpenNebula and StratusLab, and Nimbus.  In addition, we have
+developed a new driver ... so that SpeQuloS can use Grid5000 as an IaaS
+cloud."  Each entry below is a simulated stand-in with a plausible boot
+latency; the ``simulation`` provider boots instantly and is what the
+evaluation campaigns use (the paper's simulator does not model boot
+time either).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cloud.api import ComputeDriver, ProviderProfile
+from repro.simulator.engine import Simulation
+
+__all__ = ["PROVIDER_NAMES", "get_driver", "list_providers"]
+
+_PROFILES: Dict[str, ProviderProfile] = {
+    p.name: p for p in (
+        ProviderProfile("simulation", boot_delay=0.0),
+        ProviderProfile("ec2", boot_delay=120.0),
+        ProviderProfile("eucalyptus", boot_delay=150.0),
+        ProviderProfile("rackspace", boot_delay=180.0),
+        ProviderProfile("opennebula", boot_delay=90.0, region="on-site"),
+        ProviderProfile("stratuslab", boot_delay=90.0, region="on-site"),
+        ProviderProfile("nimbus", boot_delay=120.0, region="sciences"),
+        ProviderProfile("grid5000", boot_delay=60.0, power_std=0.0,
+                        region="fr", max_instances=200),
+    )
+}
+
+PROVIDER_NAMES: Tuple[str, ...] = tuple(_PROFILES)
+
+
+def list_providers() -> List[ProviderProfile]:
+    """All known provider profiles."""
+    return [_PROFILES[n] for n in PROVIDER_NAMES]
+
+
+def get_driver(name: str, sim: Simulation,
+               rng: Optional[np.random.Generator] = None) -> ComputeDriver:
+    """Instantiate a driver for a named provider, libcloud-style."""
+    try:
+        profile = _PROFILES[name.lower()]
+    except KeyError:
+        raise KeyError(f"unknown cloud provider {name!r}; available: "
+                       f"{', '.join(PROVIDER_NAMES)}") from None
+    return ComputeDriver(profile, sim, rng)

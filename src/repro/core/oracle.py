@@ -1,0 +1,150 @@
+"""Oracle module: QoS estimation and provisioning decisions (§3.4-3.5).
+
+Prediction (§3.4): when a user asks, the Oracle reads the BoT's current
+completion ratio ``r`` and elapsed time ``tc(r)`` from the Information
+module and predicts the completion time as ``tp = α · tc(r) / r``.
+The ``α`` factor is calibrated per execution environment from archived
+history "to minimize the average difference between the predicted time
+and the completion times actually observed"; the uncertainty returned
+alongside is the historical success rate of ±20 % predictions.
+
+Provisioning: the when/how-many questions are delegated to the
+configured :class:`~repro.core.strategies.StrategyCombo`; the Oracle is
+the module the Scheduler interrogates, matching Figure 3's
+``shouldUseCloud`` / ``cloudWorkersToStart`` calls.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.info import BoTMonitor, InformationModule
+from repro.core.strategies import StrategyCombo
+
+__all__ = ["Oracle", "Prediction", "fit_alpha", "prediction_success"]
+
+#: tolerance of the success criterion (§3.4: "± 20% tolerance")
+SUCCESS_TOLERANCE = 0.20
+
+
+def fit_alpha(base_predictions: Sequence[float],
+              actuals: Sequence[float]) -> float:
+    """Least-absolute-error scale factor.
+
+    Minimizes ``sum_i |alpha * p_i - a_i|`` exactly: the optimum is the
+    weighted median of the ratios ``a_i / p_i`` with weights ``p_i``
+    (the derivative of the objective changes sign there).  Returns 1.0
+    with no usable history, as the paper initializes α.
+    """
+    p = np.asarray(list(base_predictions), dtype=float)
+    a = np.asarray(list(actuals), dtype=float)
+    mask = np.isfinite(p) & np.isfinite(a) & (p > 0) & (a > 0)
+    p, a = p[mask], a[mask]
+    if p.size == 0:
+        return 1.0
+    ratios = a / p
+    order = np.argsort(ratios)
+    ratios, weights = ratios[order], p[order]
+    cum = np.cumsum(weights)
+    idx = int(np.searchsorted(cum, cum[-1] / 2.0))
+    return float(ratios[min(idx, ratios.size - 1)])
+
+
+def prediction_success(predicted: float, actual: float,
+                       tolerance: float = SUCCESS_TOLERANCE) -> bool:
+    """§3.4 criterion: actual within [80 %, 120 %] of the prediction."""
+    if predicted <= 0:
+        return False
+    return (1 - tolerance) * predicted <= actual <= (1 + tolerance) * predicted
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """What getPrediction returns to the user."""
+
+    bot_id: str
+    predicted_completion: float     # seconds from BoT submission
+    at_fraction: float              # completion ratio when predicted
+    alpha: float                    # calibration factor used
+    #: historical ±20 % success rate in this environment (0..1), or NaN
+    uncertainty: float
+    history_size: int
+
+
+class Oracle:
+    """Prediction + provisioning decisions over Information data."""
+
+    def __init__(self, info: InformationModule,
+                 combo: Optional[StrategyCombo] = None):
+        self.info = info
+        self.combo = combo or StrategyCombo()
+
+    # ------------------------------------------------------- prediction
+    def alpha_for(self, env_key: str, fraction: float) -> Tuple[float, int]:
+        """Calibrated α for an environment at a completion ratio.
+
+        Uses every archived execution of the environment: base
+        prediction ``p_i = tc_i(fraction) / fraction``, actual
+        ``a_i = makespan_i``.
+        """
+        history = self.info.history(env_key)
+        if not history:
+            return 1.0, 0
+        p = [rec.tc_at(fraction) / fraction for rec in history]
+        a = [rec.makespan for rec in history]
+        return fit_alpha(p, a), len(history)
+
+    def success_rate(self, env_key: str, fraction: float,
+                     alpha: float) -> float:
+        """Historical ±20 % success rate of α-scaled predictions."""
+        history = self.info.history(env_key)
+        if not history:
+            return float("nan")
+        hits = 0
+        used = 0
+        for rec in history:
+            base = rec.tc_at(fraction)
+            if not math.isfinite(base) or base <= 0:
+                continue
+            used += 1
+            if prediction_success(alpha * base / fraction, rec.makespan):
+                hits += 1
+        return hits / used if used else float("nan")
+
+    def predict(self, bot_id: str, env_key: str) -> Optional[Prediction]:
+        """Predict the BoT completion time from live progress.
+
+        Returns None while nothing has completed yet (no ratio to
+        extrapolate).
+        """
+        mon = self.info.monitor(bot_id)
+        r = mon.fraction_completed()
+        if r <= 0.0:
+            return None
+        tc_r = mon.tc(r)
+        if tc_r is None or tc_r <= 0:
+            return None
+        alpha, n_hist = self.alpha_for(env_key, r)
+        tp = alpha * tc_r / r
+        return Prediction(bot_id=bot_id, predicted_completion=tp,
+                          at_fraction=r, alpha=alpha,
+                          uncertainty=self.success_rate(env_key, r, alpha),
+                          history_size=n_hist)
+
+    # ----------------------------------------------------- provisioning
+    def should_use_cloud(self, mon: BoTMonitor) -> bool:
+        """Figure 3's ``shouldUseCloud``: the when-policy decision."""
+        return self.combo.should_start(mon)
+
+    def cloud_workers_to_start(self, mon: BoTMonitor, credits: float,
+                               credits_per_cpu_hour: float,
+                               now: float) -> int:
+        """Figure 3's ``cloudWorkersToStart``: the size-policy decision."""
+        if credits <= 0:
+            return 0
+        cpu_hours = credits / credits_per_cpu_hour
+        return self.combo.workers_to_start(mon, cpu_hours, now)

@@ -1,0 +1,304 @@
+"""Scheduler module: Cloud worker lifecycle management (§3.6).
+
+The Scheduler periodically checks every QoS-enabled BoT (Algorithm 1):
+if credits are provisioned and the Oracle's when-policy fires, it
+starts the Oracle-sized batch of Cloud workers, connects them to the
+BE-DCI according to the deployment strategy, and then (Algorithm 2)
+keeps billing their usage each period, stopping workers that starve or
+whose BoT completed, and stopping everything when the escrowed credits
+run out.
+
+Billing model: Cloud worker *usage* is billed — the CPU time actually
+spent computing units (§3.3 prices "1 CPU.hour of Cloud worker usage"
+at 15 credits) — measured exactly through the middleware's busy
+accounting and charged each tick.  Workers persist until the BoT
+completes or the escrowed credits run out ("If all the credits
+allocated to the BoT have been spent, or if the BoT execution is
+completed, Cloud workers are stopped"); an optional ``idle_grace``
+releases long-idle workers early, and never-assigned workers of a
+Greedy launch are released after one tick (§3.5's release rule).
+Stops are graceful: a unit already running on a stopped worker
+completes, and its final partial billing is settled at stop time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.cloud.api import ComputeDriver, QuotaExceeded
+from repro.cloud.worker import (
+    CloudDuplicationCoordinator,
+    CloudWorkerHandle,
+    RescheduleAgent,
+)
+from repro.core.credit import CREDITS_PER_CPU_HOUR, CreditSystem
+from repro.core.info import BoTMonitor, InformationModule
+from repro.core.oracle import Oracle
+from repro.core.strategies import (
+    DEPLOY_CLOUD_DUP,
+    DEPLOY_FLAT,
+    DEPLOY_RESCHEDULE,
+    SIZE_GREEDY,
+    StrategyCombo,
+)
+from repro.middleware.base import DGServer
+from repro.simulator.engine import PRIORITY_MONITOR, Event, Simulation
+
+__all__ = ["SchedulerConfig", "QoSRun", "SpeQuloSScheduler"]
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Scheduler tuning knobs."""
+
+    #: monitor / billing loop period (seconds)
+    tick_period: float = 60.0
+    credits_per_cpu_hour: float = CREDITS_PER_CPU_HOUR
+    #: release workers idle longer than this (None: keep them until
+    #: BoT completion / credit exhaustion, as the paper's Scheduler
+    #: does — idle time costs nothing under usage billing)
+    idle_grace: Optional[float] = None
+    #: never-assigned workers of a *Greedy* launch stop after one tick
+    #: ("Cloud workers that do not have tasks assigned stop
+    #: immediately to release the credits", §3.5)
+    greedy_release_grace: float = 60.0
+    #: hard cap on workers per BoT (sanity bound below provider quota)
+    max_workers: int = 500
+
+    def __post_init__(self) -> None:
+        if self.tick_period <= 0:
+            raise ValueError("tick_period must be > 0")
+        if self.idle_grace is not None and self.idle_grace < 0:
+            raise ValueError("idle_grace must be >= 0 or None")
+        if self.max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+
+
+@dataclass
+class QoSRun:
+    """Scheduler-side state of one QoS-supported BoT."""
+
+    bot_id: str
+    server: DGServer
+    driver: ComputeDriver
+    monitor: BoTMonitor
+    oracle: Oracle
+    combo: StrategyCombo
+    started: bool = False
+    finished: bool = False
+    started_at: Optional[float] = None
+    workers_launched: int = 0
+    handles: List[CloudWorkerHandle] = field(default_factory=list)
+    coordinator: Optional[CloudDuplicationCoordinator] = None
+    stop_reason: Optional[str] = None
+
+    def active_workers(self) -> int:
+        return sum(1 for h in self.handles if not h.stopped)
+
+
+class SpeQuloSScheduler:
+    """Algorithms 1 & 2 of the paper, over simulated clouds."""
+
+    def __init__(self, sim: Simulation, info: InformationModule,
+                 credits: CreditSystem,
+                 config: Optional[SchedulerConfig] = None,
+                 on_run_finished: Optional[Callable[[QoSRun], None]] = None):
+        self.sim = sim
+        self.info = info
+        self.credits = credits
+        self.config = config or SchedulerConfig()
+        self.runs: Dict[str, QoSRun] = {}
+        self._tick_ev: Optional[Event] = None
+        self._on_run_finished = on_run_finished
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def attach(self, bot_id: str, server: DGServer, driver: ComputeDriver,
+               combo: StrategyCombo) -> QoSRun:
+        """Start managing QoS for a registered BoT."""
+        if bot_id in self.runs:
+            raise ValueError(f"BoT {bot_id!r} already managed")
+        mon = self.info.monitor(bot_id)
+        run = QoSRun(bot_id=bot_id, server=server, driver=driver,
+                     monitor=mon, oracle=Oracle(self.info, combo),
+                     combo=combo)
+        self.runs[bot_id] = run
+        server.add_observer(_CompletionWatcher(self, run))
+        self._ensure_ticking()
+        return run
+
+    def _ensure_ticking(self) -> None:
+        if self._tick_ev is None or self._tick_ev.cancelled:
+            self._tick_ev = self.sim.schedule(
+                self.config.tick_period, self._tick,
+                priority=PRIORITY_MONITOR)
+
+    # ------------------------------------------------------------------
+    # monitor loop (Algorithms 1 and 2)
+    # ------------------------------------------------------------------
+    def _tick(self) -> None:
+        self._tick_ev = None
+        active = False
+        for run in self.runs.values():
+            if run.finished:
+                continue
+            active = True
+            run.monitor.sample(self.sim.now)
+            if run.monitor.done:
+                self.finalize(run)
+                continue
+            if not run.started:
+                if (self.credits.has_credits(run.bot_id)
+                        and run.oracle.should_use_cloud(run.monitor)):
+                    self._launch(run)
+            else:
+                self._bill_and_manage(run)
+        if active:
+            self._ensure_ticking()
+
+    # ------------------------------------------------------------------
+    def _launch(self, run: QoSRun) -> None:
+        """Size and start the Cloud worker batch (Algorithm 1)."""
+        order = self.credits.get_order(run.bot_id)
+        assert order is not None
+        n = run.oracle.cloud_workers_to_start(
+            run.monitor, order.remaining,
+            self.config.credits_per_cpu_hour, self.sim.now)
+        n = min(n, self.config.max_workers)
+        if n <= 0:
+            return
+        deploy = run.combo.deploy
+        if deploy == DEPLOY_CLOUD_DUP:
+            run.coordinator = CloudDuplicationCoordinator(
+                self.sim, run.server, run.bot_id,
+                on_starved=lambda coord, node, r=run:
+                    self._stop_by_node(r, node))
+            run.coordinator.sync()
+        for _ in range(n):
+            try:
+                inst = run.driver.create_node(tag=f"speq-{run.bot_id}")
+            except QuotaExceeded:
+                break
+            handle = CloudWorkerHandle(inst, deploy)
+            if deploy == DEPLOY_FLAT:
+                run.server.add_cloud_node(inst.node)
+            elif deploy == DEPLOY_RESCHEDULE:
+                agent = RescheduleAgent(
+                    self.sim, run.server, inst.node,
+                    on_starved=lambda a, r=run, h=handle:
+                        self._stop_handle(r, h))
+                handle.agent = agent
+                agent.start()
+            else:
+                assert run.coordinator is not None
+                run.coordinator.add_worker(inst.node)
+            run.handles.append(handle)
+            run.workers_launched += 1
+        run.started = True
+        run.started_at = self.sim.now
+
+    # ------------------------------------------------------------------
+    def _handle_busy(self, run: QoSRun, handle: CloudWorkerHandle) -> bool:
+        if handle.deploy_mode == DEPLOY_CLOUD_DUP:
+            assert run.coordinator is not None
+            return run.coordinator.busy(handle.node)
+        return run.server.is_busy(handle.node)
+
+    def _busy_seconds(self, run: QoSRun, handle: CloudWorkerHandle) -> float:
+        if handle.deploy_mode == DEPLOY_CLOUD_DUP:
+            assert run.coordinator is not None
+            return run.coordinator.busy_seconds(handle.node)
+        return run.server.cloud_busy_seconds(handle.node)
+
+    def _bill_handle(self, run: QoSRun, handle: CloudWorkerHandle) -> bool:
+        """Bill usage since the last tick; False when credits ran dry."""
+        total = self._busy_seconds(run, handle)
+        delta = total - handle.billed_busy
+        if delta <= 0:
+            return True
+        amount = self.config.credits_per_cpu_hour * delta / 3600.0
+        billed = self.credits.bill(run.bot_id, amount)
+        handle.billed_busy = total
+        return billed >= amount - 1e-9
+
+    def _bill_and_manage(self, run: QoSRun) -> None:
+        """Algorithm 2: bill, release idle workers, stop on exhaustion."""
+        now = self.sim.now
+        greedy = run.combo.size == SIZE_GREEDY
+        for handle in run.handles:
+            if handle.stopped:
+                continue
+            if not self._bill_handle(run, handle):
+                self.stop_all(run, reason="credits exhausted")
+                return
+            if self._handle_busy(run, handle):
+                handle.ever_assigned = True
+                handle.last_busy = now
+                continue
+            if greedy and not handle.ever_assigned:
+                grace = self.config.greedy_release_grace
+            elif self.config.idle_grace is not None:
+                grace = self.config.idle_grace
+            else:
+                continue
+            if now - handle.last_busy >= grace:
+                self._stop_handle(run, handle)
+
+    # ------------------------------------------------------------------
+    # stopping
+    # ------------------------------------------------------------------
+    def _stop_handle(self, run: QoSRun, handle: CloudWorkerHandle) -> None:
+        if handle.stopped:
+            return
+        self._bill_handle(run, handle)
+        handle.stopped = True
+        node = handle.node
+        if handle.deploy_mode == DEPLOY_FLAT:
+            run.server.remove_cloud_node(node)
+        elif handle.deploy_mode == DEPLOY_RESCHEDULE:
+            assert isinstance(handle.agent, RescheduleAgent)
+            handle.agent.stop()
+        else:
+            assert run.coordinator is not None
+            run.coordinator.remove_worker(node)
+        run.driver.destroy_node(handle.instance)
+
+    def _stop_by_node(self, run: QoSRun, node) -> None:
+        for handle in run.handles:
+            if handle.node.node_id == node.node_id:
+                self._stop_handle(run, handle)
+                return
+
+    def stop_all(self, run: QoSRun, reason: str) -> None:
+        """Stop every Cloud worker of the run (exhaustion/completion)."""
+        if run.stop_reason is None:
+            run.stop_reason = reason
+        for handle in run.handles:
+            self._stop_handle(run, handle)
+
+    def finalize(self, run: QoSRun) -> None:
+        """BoT done: stop workers, pay the order, refund the rest."""
+        if run.finished:
+            return
+        self.stop_all(run, reason="bot completed")
+        run.finished = True
+        if self.credits.get_order(run.bot_id) is not None:
+            self.credits.close(run.bot_id)
+        if self._on_run_finished is not None:
+            self._on_run_finished(run)
+
+
+class _CompletionWatcher:
+    """Server observer that finalizes a run the instant its BoT ends
+    (so credit accounting is settled even if the simulation stops on
+    the completion event)."""
+
+    def __init__(self, scheduler: SpeQuloSScheduler, run: QoSRun):
+        self.scheduler = scheduler
+        self.run = run
+
+    def on_bot_completed(self, bot_id: str, t: float) -> None:
+        if bot_id == self.run.bot_id:
+            self.scheduler.finalize(self.run)

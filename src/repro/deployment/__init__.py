@@ -1,0 +1,15 @@
+"""EDGI-style deployment scenario (paper §5).
+
+The paper reports a production deployment in the European Desktop Grid
+Infrastructure: two XtremWeb-HEP desktop grids at University Paris-XI
+(XW@LAL on the lab's desktop machines, XW@LRI harvesting Grid'5000
+best-effort nodes), EGI grid jobs bridged onto the DGs through the
+3G-Bridge, and SpeQuloS provisioning QoS cloud workers from StratusLab
+(for LAL) and Amazon EC2 (for LRI).  This package reproduces that
+topology in simulation and regenerates Table 5's task accounting.
+"""
+
+from repro.deployment.bridge import BridgedBoT, ThreeGBridge
+from repro.deployment.edgi import EDGIDeployment
+
+__all__ = ["ThreeGBridge", "BridgedBoT", "EDGIDeployment"]

@@ -1,0 +1,36 @@
+"""Experiment harness: configurations, runner, figure/table builders.
+
+The paper's evaluation (§4) is a campaign of >25 000 BoT executions
+over the cross product (6 BE-DCI traces) x (2 middleware) x (3 BoT
+categories) x (submission offsets) x (19 SpeQuloS variants: none + 18
+strategy combinations).  This package runs scaled-down versions of the
+same grid:
+
+* :class:`ExecutionConfig` fully determines one execution (one seed =
+  one trace realization + one workload draw + one pool shuffle), so a
+  with/without-SpeQuloS pair shares its environment exactly, as the
+  paper's seeded simulator does;
+* :func:`run_execution` executes one configuration and returns an
+  :class:`ExecutionResult` with everything the figures need;
+* :func:`run_campaign` fans configurations out over processes;
+* :mod:`repro.experiments.figures` rebuilds every table and figure.
+
+``REPRO_SCALE=quick|full`` selects the campaign size (see
+:mod:`repro.experiments.config`).
+"""
+
+from repro.experiments.config import (
+    CampaignScale,
+    ExecutionConfig,
+    get_scale,
+)
+from repro.experiments.runner import ExecutionResult, run_campaign, run_execution
+
+__all__ = [
+    "CampaignScale",
+    "ExecutionConfig",
+    "ExecutionResult",
+    "get_scale",
+    "run_campaign",
+    "run_execution",
+]

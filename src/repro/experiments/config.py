@@ -1,0 +1,163 @@
+"""Execution configuration and campaign scaling.
+
+One :class:`ExecutionConfig` = one simulated BoT execution.  The
+``seed`` drives four independent RNG streams (trace realization, node
+pool shuffling, workload draw, cloud worker powers), so two configs
+differing only in ``strategy`` replay the *same* environment — the
+paper's paired with/without-SpeQuloS protocol ("using the same seed
+value allows a fair comparison", §4.1.3).
+
+Campaign scaling: the paper simulated >25 000 executions on a cluster;
+a laptop benchmark run cannot.  :class:`CampaignScale` shrinks BoT
+sizes and seed counts proportionally (``quick``, the default) or keeps
+the paper's sizes (``full``, selected with ``REPRO_SCALE=full``).
+Scaling the BoT preserves every *relative* quantity the figures report
+(tail slowdown, TRE, credit percentages) because tasks stay identical
+(same nops) — only their count changes.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.infra.catalog import TRACE_NAMES, get_trace_spec
+from repro.middleware import MIDDLEWARE_NAMES
+from repro.workload.categories import BOT_CATEGORIES
+
+__all__ = ["ExecutionConfig", "CampaignScale", "get_scale", "SCALES"]
+
+#: hard ceiling on materialized trace nodes per execution — above this
+#: extra nodes only deepen the idle pool (DESIGN.md §4)
+HARD_NODE_CAP = 4000
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """Everything needed to reproduce one BoT execution."""
+
+    trace: str
+    middleware: str
+    category: str
+    seed: int
+    #: strategy combination name ("9C-C-R", ...) or None = no SpeQuloS
+    strategy: Optional[str] = None
+    #: trigger fraction of the threshold when-policies (paper: 0.9)
+    strategy_threshold: float = 0.9
+    #: credits worth this fraction of the BoT workload (paper: 10 %)
+    credit_fraction: float = 0.10
+    #: task-count override (campaign scaling); None = Table 3 size
+    bot_size: Optional[int] = None
+    #: materialized node cap; None = automatic (see node_cap())
+    max_nodes: Optional[int] = None
+    horizon_days: float = 15.0
+    provider: str = "simulation"
+
+    def __post_init__(self) -> None:
+        if self.trace not in TRACE_NAMES:
+            raise ValueError(f"unknown trace {self.trace!r}")
+        if self.middleware not in MIDDLEWARE_NAMES:
+            raise ValueError(f"unknown middleware {self.middleware!r}")
+        if self.category.upper() not in BOT_CATEGORIES:
+            raise ValueError(f"unknown BoT category {self.category!r}")
+        if not 0.0 < self.credit_fraction <= 1.0:
+            raise ValueError("credit_fraction must be in (0, 1]")
+        if self.horizon_days <= 0:
+            raise ValueError("horizon_days must be positive")
+
+    # ------------------------------------------------------------------
+    def with_strategy(self, strategy: Optional[str],
+                      threshold: float = 0.9) -> "ExecutionConfig":
+        """The paired configuration with a (different) SpeQuloS setup."""
+        return replace(self, strategy=strategy,
+                       strategy_threshold=threshold)
+
+    def with_seed(self, seed: int) -> "ExecutionConfig":
+        return replace(self, seed=seed)
+
+    def with_credit_fraction(self, fraction: float) -> "ExecutionConfig":
+        return replace(self, credit_fraction=fraction)
+
+    @property
+    def horizon(self) -> float:
+        return self.horizon_days * 86400.0
+
+    def expected_size(self) -> int:
+        """Nominal task count (RANDOM uses its mean)."""
+        if self.bot_size is not None:
+            return self.bot_size
+        cat = BOT_CATEGORIES[self.category.upper()]
+        if cat.size is not None:
+            return cat.size
+        return int(cat.size_normal[0])  # type: ignore[index]
+
+    def node_cap(self) -> int:
+        """Materialized node count for this execution.
+
+        1.3x the peak concurrent demand (task replicas), bounded by the
+        trace's natural size and a hard ceiling; extra nodes beyond the
+        peak demand never receive work and only slow the simulation.
+        """
+        if self.max_nodes is not None:
+            return self.max_nodes
+        replicas = self.expected_size() * (3 if self.middleware == "boinc"
+                                           else 1)
+        spec = get_trace_spec(self.trace)
+        # Gated traces only field ~participation of their population at
+        # any instant, so the cap is raised to keep the same effective
+        # worker supply.
+        cap = max(64, math.ceil(1.3 * replicas / spec.participation))
+        return min(cap, spec.natural_node_count(), HARD_NODE_CAP)
+
+    def env_name(self) -> str:
+        """DCI label: trace + middleware (the history/prediction bucket
+        together with the category)."""
+        return f"{self.trace}-{self.middleware}"
+
+    def label(self) -> str:
+        strat = self.strategy or "nospeq"
+        return (f"{self.trace}/{self.middleware}/{self.category}"
+                f"/{strat}/s{self.seed}")
+
+
+@dataclass(frozen=True)
+class CampaignScale:
+    """Campaign sizing knobs (quick vs full)."""
+
+    name: str
+    #: multiplies Table 3 BoT sizes (tasks keep their nops)
+    size_factor: float
+    #: executions (seeds) per environment for distribution figures
+    seeds_per_env: int
+    #: seeds for the heavy 18-combo strategy grid (Figures 4/5)
+    seeds_strategy_grid: int
+
+    def bot_size(self, category: str) -> Optional[int]:
+        """Scaled task count for a category (None = unscaled)."""
+        if self.size_factor >= 1.0:
+            return None
+        cat = BOT_CATEGORIES[category.upper()]
+        base = cat.size if cat.size is not None \
+            else int(cat.size_normal[0])  # type: ignore[index]
+        return max(30, int(round(base * self.size_factor)))
+
+
+SCALES = {
+    "quick": CampaignScale(name="quick", size_factor=0.25,
+                           seeds_per_env=3, seeds_strategy_grid=2),
+    "full": CampaignScale(name="full", size_factor=1.0,
+                          seeds_per_env=10, seeds_strategy_grid=4),
+}
+
+
+def get_scale(name: Optional[str] = None) -> CampaignScale:
+    """Campaign scale from the argument or ``REPRO_SCALE`` (default
+    ``quick``)."""
+    key = (name or os.environ.get("REPRO_SCALE", "quick")).lower()
+    try:
+        return SCALES[key]
+    except KeyError:
+        raise KeyError(f"unknown scale {key!r}; available: "
+                       f"{', '.join(SCALES)}") from None

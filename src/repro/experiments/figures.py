@@ -1,0 +1,652 @@
+"""Builders regenerating every table and figure of the paper (§2, §4, §5).
+
+Each ``*_report`` function runs (or reuses) the campaign it needs and
+returns an :class:`~repro.experiments.report.ExperimentReport` whose
+rendering mirrors the paper's table/figure.  Campaigns are memoized per
+(campaign, scale) within the process so benches that share data
+(Figures 4 and 5; Figures 6, 7 and Table 4) pay for it once.
+
+Campaign grids (scaled by :class:`~repro.experiments.config.CampaignScale`):
+
+* **baseline grid** (Figure 2, Table 1): every trace x middleware x
+  category, no SpeQuloS;
+* **strategy grid** (Figures 4, 5): paired executions for all 18
+  strategy combinations;
+* **headline grid** (Figures 6, 7, Table 4): paired executions with the
+  paper's recommended ``9C-C-R`` combination.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.cdf import ccdf_at, histogram_fractions
+from repro.analysis.metrics import tail_removal_efficiency
+from repro.core.oracle import fit_alpha, prediction_success
+from repro.core.strategies import ALL_COMBOS
+from repro.experiments.config import CampaignScale, ExecutionConfig, get_scale
+from repro.experiments.report import ExperimentReport, Series, TextTable
+from repro.experiments.runner import ExecutionResult, run_campaign, run_execution
+from repro.infra.catalog import TRACE_NAMES, get_trace_spec, list_trace_specs
+from repro.infra.stats import measure_trace
+from repro.workload.categories import BOT_CATEGORIES
+from repro.workload.generator import make_bot
+
+__all__ = [
+    "figure1_report", "figure2_report", "table1_report", "table2_report",
+    "table3_report", "figure4_report", "figure5_report", "figure6_report",
+    "figure7_report", "table4_report", "table5_report",
+    "ablation_threshold_report", "ablation_budget_report",
+    "ablation_middleware_report",
+]
+
+MIDDLEWARE = ("boinc", "xwhep")
+CATEGORIES = ("SMALL", "BIG", "RANDOM")
+#: the paper's recommended compromise (§4.3)
+HEADLINE_COMBO = "9C-C-R"
+#: minimum baseline tail (seconds) for a TRE to be well-defined
+MIN_TAIL = 120.0
+
+
+def has_material_tail(res: ExecutionResult) -> bool:
+    """Whether a baseline execution's tail is large enough to score.
+
+    TRE compares against cloud provisioning whose granularity is the
+    scheduler tick plus one cloud task execution (minutes); a tail
+    below ~10 % of the ideal time (or two ticks) is within that
+    granularity and would only add TRE~0 noise, so Figure 4 excludes
+    it — the paper's full-size tails are far above this threshold.
+    """
+    tail = res.makespan - res.ideal_time
+    return tail > max(MIN_TAIL, 0.10 * res.ideal_time)
+
+_memo: Dict[Tuple[str, str], object] = {}
+
+
+def _memoized(key: str, scale: CampaignScale, build):
+    k = (key, scale.name)
+    if k not in _memo:
+        _memo[k] = build()
+    return _memo[k]
+
+
+# ---------------------------------------------------------------------------
+# campaign grids
+# ---------------------------------------------------------------------------
+def _seed_for(trace: str, mw: str, cat: str, i: int) -> int:
+    """Stable, collision-free seed per environment slot."""
+    return abs(hash((trace, mw, cat, i))) % (2 ** 31)
+
+
+def baseline_grid(scale: CampaignScale,
+                  categories: Sequence[str] = CATEGORIES,
+                  traces: Sequence[str] = TRACE_NAMES,
+                  ) -> List[ExecutionConfig]:
+    cfgs = []
+    for trace in traces:
+        for mw in MIDDLEWARE:
+            for cat in categories:
+                for i in range(scale.seeds_per_env):
+                    cfgs.append(ExecutionConfig(
+                        trace=trace, middleware=mw, category=cat,
+                        seed=_seed_for(trace, mw, cat, i),
+                        bot_size=scale.bot_size(cat)))
+    return cfgs
+
+
+def _run_baselines(scale: CampaignScale) -> List[ExecutionResult]:
+    return _memoized("baselines", scale,
+                     lambda: run_campaign(baseline_grid(scale)))
+
+
+def _strategy_env_grid(scale: CampaignScale) -> List[ExecutionConfig]:
+    """Environments for the 18-combination grid (Figures 4/5).
+
+    Quick scale keeps SMALL and RANDOM (the classes where the tail
+    dominates, §4.3.1); full scale adds BIG as the paper does.
+    """
+    cats = CATEGORIES if scale.size_factor >= 1.0 else ("SMALL", "RANDOM")
+    cfgs = []
+    for trace in TRACE_NAMES:
+        for mw in MIDDLEWARE:
+            for cat in cats:
+                for i in range(scale.seeds_strategy_grid):
+                    cfgs.append(ExecutionConfig(
+                        trace=trace, middleware=mw, category=cat,
+                        seed=_seed_for(trace, mw, cat, 1000 + i),
+                        bot_size=scale.bot_size(cat)))
+    return cfgs
+
+
+def _run_strategy_campaign(scale: CampaignScale) -> Tuple[
+        List[ExecutionResult], Dict[str, List[ExecutionResult]]]:
+    """(baselines, {combo name: paired results in baseline order})."""
+    def build():
+        bases = _strategy_env_grid(scale)
+        combos = [c.name for c in ALL_COMBOS]
+        everything = list(bases)
+        for name in combos:
+            everything.extend(b.with_strategy(name) for b in bases)
+        results = run_campaign(everything)
+        n = len(bases)
+        base_res = results[:n]
+        per_combo = {name: results[n * (k + 1): n * (k + 2)]
+                     for k, name in enumerate(combos)}
+        return base_res, per_combo
+    return _memoized("strategy", scale, build)  # type: ignore[return-value]
+
+
+def _run_headline_campaign(scale: CampaignScale) -> Tuple[
+        List[ExecutionResult], List[ExecutionResult]]:
+    """Paired (no SpeQuloS, 9C-C-R) over the full environment grid."""
+    def build():
+        bases = baseline_grid(scale)
+        speq = [b.with_strategy(HEADLINE_COMBO) for b in bases]
+        results = run_campaign(bases + speq)
+        return results[:len(bases)], results[len(bases):]
+    return _memoized("headline", scale, build)  # type: ignore[return-value]
+
+
+# ---------------------------------------------------------------------------
+# Figure 1 — example execution profile with tail
+# ---------------------------------------------------------------------------
+def figure1_report(scale: Optional[CampaignScale] = None) -> ExperimentReport:
+    """One BoT execution's completion-ratio curve and the ideal-time
+    construction of §2.2 (the paper's illustrative Figure 1)."""
+    scale = scale or get_scale()
+    cfg = ExecutionConfig(trace="seti", middleware="boinc", category="SMALL",
+                          seed=11, bot_size=scale.bot_size("SMALL"))
+    res = run_execution(cfg)
+    profile = res.profile
+    xs, ys = [], []
+    for pct in range(1, 101):
+        xs.append(profile.tc(pct / 100.0))
+        ys.append(pct / 100.0)
+    rep = ExperimentReport(
+        "Figure 1", "Example of BoT execution with noteworthy values")
+    rep.series.append(Series("BoT completion ratio over time (t, ratio)",
+                             xs, ys))
+    table = TextTable("Noteworthy values", ["quantity", "value"])
+    table.add_row("actual completion time (s)", f"{res.makespan:.0f}")
+    table.add_row("ideal completion time tc(0.9)/0.9 (s)",
+                  f"{res.ideal_time:.0f}")
+    table.add_row("tail duration (s)", f"{res.makespan - res.ideal_time:.0f}")
+    table.add_row("tail slowdown", f"{res.slowdown:.2f}")
+    rep.tables.append(table)
+    rep.notes.append(f"environment: {cfg.label()}")
+    return rep
+
+
+# ---------------------------------------------------------------------------
+# Figure 2 — CDF of tail slowdown per middleware
+# ---------------------------------------------------------------------------
+def figure2_report(scale: Optional[CampaignScale] = None) -> ExperimentReport:
+    scale = scale or get_scale()
+    results = _run_baselines(scale)
+    rep = ExperimentReport(
+        "Figure 2", "Tail slowdown CDF in BE-DCIs (no SpeQuloS)")
+    thresholds = [1.0, 1.1, 1.25, 1.33, 1.5, 2.0, 3.0, 4.0, 6.0, 10.0, 20.0]
+    table = TextTable(
+        "Fraction of executions with tail slowdown <= S",
+        ["S"] + [mw.upper() for mw in MIDDLEWARE],
+        note="paper: ~half of executions below 1.33; slowdown of 2 for "
+             "25% (XWHEP) to 33% (BOINC); worst 5%: 4x (XWHEP), 10x (BOINC)")
+    by_mw = {mw: [r.slowdown for r in results
+                  if r.config.middleware == mw] for mw in MIDDLEWARE}
+    for s in thresholds:
+        row = [f"{s:g}"]
+        for mw in MIDDLEWARE:
+            vals = np.asarray(by_mw[mw])
+            row.append(f"{float((vals <= s).mean()):.2f}")
+        table.add_row(*row)
+    rep.tables.append(table)
+    for mw in MIDDLEWARE:
+        med = float(np.median(by_mw[mw]))
+        p95 = float(np.percentile(by_mw[mw], 95))
+        rep.notes.append(f"{mw}: median slowdown {med:.2f}, "
+                         f"95th percentile {p95:.2f}, n={len(by_mw[mw])}")
+    return rep
+
+
+# ---------------------------------------------------------------------------
+# Table 1 — tail fractions per DCI class and middleware
+# ---------------------------------------------------------------------------
+def table1_report(scale: Optional[CampaignScale] = None) -> ExperimentReport:
+    scale = scale or get_scale()
+    results = _run_baselines(scale)
+    rep = ExperimentReport(
+        "Table 1", "Average fraction of BoT in tail / execution time in tail")
+    table = TextTable(
+        "Tail fractions by BE-DCI class",
+        ["BE-DCI class", "%BoT tail BOINC", "%BoT tail XWHEP",
+         "%time tail BOINC", "%time tail XWHEP"],
+        note="paper: %BoT in tail 2.9-6.4; %time in tail 16-52 "
+             "(largest for Desktop Grids)")
+    groups: Dict[str, Dict[str, List[ExecutionResult]]] = defaultdict(
+        lambda: defaultdict(list))
+    for r in results:
+        klass = get_trace_spec(r.config.trace).dci_class
+        groups[klass][r.config.middleware].append(r)
+    for klass in ("Desktop Grids", "Best Effort Grids", "Spot Instances"):
+        row = [klass]
+        for metric in ("pct_tasks_in_tail", "pct_time_in_tail"):
+            for mw in MIDDLEWARE:
+                vals = [getattr(r, metric) for r in groups[klass][mw]]
+                row.append(f"{float(np.mean(vals)):.2f}" if vals else "-")
+        table.add_row(*row)
+    rep.tables.append(table)
+    return rep
+
+
+# ---------------------------------------------------------------------------
+# Table 2 — trace statistics (synthesis targets vs measured)
+# ---------------------------------------------------------------------------
+def table2_report(horizon_days: float = 4.0,
+                  step: float = 600.0) -> ExperimentReport:
+    rep = ExperimentReport(
+        "Table 2", "Summary of the Best Effort DCI traces "
+                   "(paper target vs synthesized)")
+    table = TextTable(
+        "Trace statistics",
+        ["trace", "", "mean", "std", "min", "max",
+         "av.quartiles (s)", "unav.quartiles (s)", "power", "p.std"],
+        note="targets are the paper's Table 2; measured rows come from "
+             f"full-size synthesized traces over {horizon_days:g} days")
+    rng = np.random.default_rng(2012)
+    for spec in list_trace_specs():
+        table.add_row(
+            spec.name, "target", f"{spec.mean_nodes:.0f}",
+            f"{spec.std_nodes:.0f}", spec.min_nodes, spec.max_nodes,
+            ",".join(f"{q:.0f}" for q in spec.avail_quartiles),
+            ",".join(f"{q:.0f}" for q in spec.unavail_quartiles),
+            f"{spec.power_mean:.0f}", f"{spec.power_std:.0f}")
+        nodes = spec.materialize(rng, horizon_days * 86400.0)
+        st = measure_trace(nodes, horizon_days * 86400.0, step)
+        table.add_row(
+            "", "measured", f"{st.mean_nodes:.0f}", f"{st.std_nodes:.0f}",
+            st.min_nodes, st.max_nodes,
+            ",".join(f"{q:.0f}" for q in st.avail_quartiles),
+            ",".join(f"{q:.0f}" for q in st.unavail_quartiles),
+            f"{st.power_mean:.0f}", f"{st.power_std:.0f}")
+    rep.tables.append(table)
+    rep.notes.append(
+        "synthesized duration quartiles match by construction (quantile-"
+        "fitted); count min/max for g5k traces depend on the day/night "
+        "gate model — see DESIGN.md substitution notes")
+    return rep
+
+
+# ---------------------------------------------------------------------------
+# Table 3 — BoT workload characteristics
+# ---------------------------------------------------------------------------
+def table3_report(n_draws: int = 25) -> ExperimentReport:
+    rep = ExperimentReport("Table 3", "Characteristics of BoT workloads")
+    table = TextTable(
+        "BoT categories (target vs generated)",
+        ["category", "", "size", "nops/task", "arrival span (s)",
+         "wall clock (s)"])
+    rng = np.random.default_rng(77)
+    for name, cat in BOT_CATEGORIES.items():
+        size = str(cat.size) if cat.size else \
+            f"norm({cat.size_normal[0]:.0f},{cat.size_normal[1]:.0f})"
+        nops = f"{cat.nops:.0f}" if cat.nops else \
+            f"norm({cat.nops_normal[0]:.0f},{cat.nops_normal[1]:.0f})"
+        arr = "0" if not cat.arrival_weibull else \
+            f"weib({cat.arrival_weibull[0]},{cat.arrival_weibull[1]})"
+        table.add_row(name, "target", size, nops, arr,
+                      f"{cat.wall_clock:.0f}")
+        sizes, means, spans = [], [], []
+        for _ in range(n_draws):
+            bot = make_bot(cat, rng)
+            sizes.append(bot.size)
+            means.append(bot.total_nops / bot.size)
+            spans.append(bot.arrival_span())
+        table.add_row(
+            "", "generated",
+            f"{np.mean(sizes):.0f}±{np.std(sizes):.0f}",
+            f"{np.mean(means):.0f}",
+            f"{np.mean(spans):.0f}", f"{cat.wall_clock:.0f}")
+    rep.tables.append(table)
+    return rep
+
+
+# ---------------------------------------------------------------------------
+# Figures 4a/4b/4c — Tail Removal Efficiency CCDFs, 18 combinations
+# ---------------------------------------------------------------------------
+def _tre_samples(bases: List[ExecutionResult],
+                 speq: List[ExecutionResult]) -> List[float]:
+    """Paired TRE values where the baseline exhibits a material tail."""
+    out = []
+    for b, s in zip(bases, speq):
+        if not has_material_tail(b):
+            continue
+        out.append(tail_removal_efficiency(b.makespan, s.makespan,
+                                           b.ideal_time))
+    return out
+
+
+def figure4_report(scale: Optional[CampaignScale] = None) -> ExperimentReport:
+    scale = scale or get_scale()
+    bases, per_combo = _run_strategy_campaign(scale)
+    rep = ExperimentReport(
+        "Figure 4", "Tail Removal Efficiency CCDF per strategy combination")
+    thresholds = list(range(0, 101, 10))
+    for deploy, sub in (("F", "4a Flat"), ("R", "4b Reschedule"),
+                        ("D", "4c Cloud duplication")):
+        table = TextTable(
+            f"Figure {sub}: fraction of executions with TRE >= P",
+            ["combo"] + [f"{p}%" for p in thresholds],
+            note="paper: best combos (9x-x-D / 9x-x-R) remove the tail "
+                 "entirely in ~half of executions and halve it in ~80%; "
+                 "Flat and Execution-Variance clearly weaker")
+        for combo in ALL_COMBOS:
+            if combo.deploy != deploy:
+                continue
+            tre = _tre_samples(bases, per_combo[combo.name])
+            if not tre:
+                table.add_row(combo.name, *["-"] * len(thresholds))
+                continue
+            fr = ccdf_at(tre, thresholds)
+            table.add_row(combo.name, *[f"{v:.2f}" for v in fr])
+        rep.tables.append(table)
+    n_tail = len(_tre_samples(bases, per_combo[HEADLINE_COMBO]))
+    rep.notes.append(f"executions with measurable baseline tail: {n_tail} "
+                     f"of {len(bases)}")
+    return rep
+
+
+# ---------------------------------------------------------------------------
+# Figure 5 — credit consumption per strategy combination
+# ---------------------------------------------------------------------------
+def figure5_report(scale: Optional[CampaignScale] = None) -> ExperimentReport:
+    scale = scale or get_scale()
+    _bases, per_combo = _run_strategy_campaign(scale)
+    rep = ExperimentReport(
+        "Figure 5", "Credits consumed per strategy combination "
+                    "(percent of provisioned)")
+    table = TextTable(
+        "Average % of provisioned credits spent",
+        ["combo", "% spent", "workers avg"],
+        note="paper: mostly < 25% spent (=> < 2.5% of workload offloaded); "
+             "Reschedule > Flat > Cloud-duplication; Assignment threshold "
+             "spends more (starts earlier); Conservative saves vs Greedy")
+    for combo in ALL_COMBOS:
+        rs = per_combo[combo.name]
+        pct = float(np.mean([r.credits_used_pct for r in rs]))
+        wk = float(np.mean([r.workers_launched for r in rs]))
+        table.add_row(combo.name, f"{pct:.1f}", f"{wk:.1f}")
+    rep.tables.append(table)
+    return rep
+
+
+# ---------------------------------------------------------------------------
+# Figure 6 — completion times with and without SpeQuloS (6 panels)
+# ---------------------------------------------------------------------------
+def figure6_report(scale: Optional[CampaignScale] = None) -> ExperimentReport:
+    scale = scale or get_scale()
+    bases, speq = _run_headline_campaign(scale)
+    rep = ExperimentReport(
+        "Figure 6", f"Average completion time with/without SpeQuloS "
+                    f"({HEADLINE_COMBO})")
+    panels = [(mw, cat) for mw in MIDDLEWARE for cat in CATEGORIES]
+    for mw, cat in panels:
+        table = TextTable(
+            f"Figure 6 panel: {mw.upper()} & {cat} BoT",
+            ["BE-DCI", "no SpeQuloS (s)", "SpeQuloS (s)", "speedup"],
+            note="paper: SpeQuloS reduces completion time everywhere; "
+                 "largest gains on volatile DCIs (seti, nd, g5klyo)")
+        for trace in TRACE_NAMES:
+            b = [r.makespan for r in bases
+                 if r.config.trace == trace and r.config.middleware == mw
+                 and r.config.category == cat]
+            s = [r.makespan for r in speq
+                 if r.config.trace == trace and r.config.middleware == mw
+                 and r.config.category == cat]
+            if not b:
+                continue
+            mb, ms = float(np.mean(b)), float(np.mean(s))
+            table.add_row(trace.upper(), f"{mb:.0f}", f"{ms:.0f}",
+                          f"{mb / ms:.2f}x" if ms > 0 else "-")
+        rep.tables.append(table)
+    return rep
+
+
+# ---------------------------------------------------------------------------
+# Figure 7 — execution stability (normalized completion repartition)
+# ---------------------------------------------------------------------------
+def figure7_report(scale: Optional[CampaignScale] = None) -> ExperimentReport:
+    scale = scale or get_scale()
+    bases, speq = _run_headline_campaign(scale)
+    rep = ExperimentReport(
+        "Figure 7", "Repartition of completion times normalized by the "
+                    "environment average")
+    bins = 20
+    lo, hi = 0.0, 5.0
+
+    def normalized(results: List[ExecutionResult], mw: str) -> List[float]:
+        env: Dict[Tuple[str, str], List[float]] = defaultdict(list)
+        for r in results:
+            if r.config.middleware == mw:
+                env[(r.config.trace, r.config.category)].append(r.makespan)
+        out: List[float] = []
+        for vals in env.values():
+            mean = float(np.mean(vals))
+            if mean > 0:
+                out.extend(v / mean for v in vals)
+        return out
+
+    for mw in MIDDLEWARE:
+        table = TextTable(
+            f"Figure 7 panel: {mw.upper()} (fraction of executions per "
+            "normalized-completion bin)",
+            ["bin center", "no SpeQuloS", "SpeQuloS"],
+            note="paper: BOINC stability improves markedly with SpeQuloS "
+                 "(mass concentrates near 1); XWHEP already stable")
+        centers, f_base = histogram_fractions(normalized(bases, mw),
+                                              lo, hi, bins)
+        _, f_speq = histogram_fractions(normalized(speq, mw), lo, hi, bins)
+        for c, fb, fs in zip(centers, f_base, f_speq):
+            table.add_row(f"{c:.2f}", f"{fb:.3f}", f"{fs:.3f}")
+        rep.tables.append(table)
+        for label, samples in (("no SpeQuloS", normalized(bases, mw)),
+                               ("SpeQuloS", normalized(speq, mw))):
+            arr = np.asarray(samples)
+            rep.notes.append(
+                f"{mw} {label}: std of normalized completion "
+                f"{float(np.std(arr)):.3f}")
+    return rep
+
+
+# ---------------------------------------------------------------------------
+# Table 4 — completion time prediction success
+# ---------------------------------------------------------------------------
+def table4_report(scale: Optional[CampaignScale] = None,
+                  fraction: float = 0.5) -> ExperimentReport:
+    scale = scale or get_scale()
+    _bases, speq = _run_headline_campaign(scale)
+    rep = ExperimentReport(
+        "Table 4", "SpeQuloS completion-time prediction success (+-20%), "
+                   f"predicted at {fraction:.0%} completion")
+    idx = min(99, max(0, int(round(fraction * 100)) - 1))
+    env: Dict[Tuple[str, str, str], List[ExecutionResult]] = defaultdict(list)
+    for r in speq:
+        env[(r.config.trace, r.config.middleware,
+             r.config.category)].append(r)
+
+    table = TextTable(
+        "Prediction success rate (%)",
+        ["BE-DCI"] + [f"{c} {mw.upper()}" for c in CATEGORIES
+                      for mw in MIDDLEWARE] + ["mixed"],
+        note="paper: >90% success overall; RANDOM BoTs and spot100/XWHEP "
+             "notably harder")
+    overall_hits = overall_n = 0
+    for trace in TRACE_NAMES:
+        row = [trace]
+        t_hits = t_n = 0
+        for cat in CATEGORIES:
+            for mw in MIDDLEWARE:
+                rs = env.get((trace, mw, cat), [])
+                bases_p = [r.tc_grid[idx] / fraction for r in rs]
+                actuals = [r.makespan for r in rs]
+                alpha = fit_alpha(bases_p, actuals)
+                hits = sum(
+                    1 for p, a in zip(bases_p, actuals)
+                    if math.isfinite(p) and prediction_success(alpha * p, a))
+                n = sum(1 for p in bases_p if math.isfinite(p))
+                row.append(f"{100.0 * hits / n:.0f}" if n else "-")
+                t_hits += hits
+                t_n += n
+        row.append(f"{100.0 * t_hits / t_n:.1f}" if t_n else "-")
+        overall_hits += t_hits
+        overall_n += t_n
+        table.add_row(*row)
+    if overall_n:
+        table.add_row("mixed", *[""] * (len(CATEGORIES) * len(MIDDLEWARE)),
+                      f"{100.0 * overall_hits / overall_n:.1f}")
+    rep.tables.append(table)
+    rep.notes.append("alpha fitted per environment with perfect knowledge "
+                     "of the other executions, as in §4.3.3")
+    return rep
+
+
+# ---------------------------------------------------------------------------
+# Table 5 — EDGI deployment accounting
+# ---------------------------------------------------------------------------
+def table5_report(duration_days: float = 2.0, seed: int = 5,
+                  n_bots: int = 12) -> ExperimentReport:
+    from repro.deployment.edgi import EDGIDeployment
+    dep = EDGIDeployment(seed=seed)
+    summary = dep.run(duration_days=duration_days, n_bots=n_bots)
+    rep = ExperimentReport(
+        "Table 5", "EDGI-style deployment: tasks executed per "
+                   "infrastructure component")
+    table = TextTable(
+        "Task accounting",
+        ["component", "#tasks"],
+        note="paper (first half of 2011): XW@LAL 557002, XW@LRI 129630, "
+             "EGI 10371, StratusLab 3974, EC2 119 — shape to match: DGs "
+             "carry the bulk, clouds a small QoS fraction")
+    for name, count in summary.items():
+        table.add_row(name, count)
+    rep.tables.append(table)
+    return rep
+
+
+# ---------------------------------------------------------------------------
+# Ablations (design-choice sweeps beyond the paper's grid)
+# ---------------------------------------------------------------------------
+_ABLATION_ENVS = (("seti", "boinc"), ("nd", "xwhep"))
+
+
+def _ablation_bases(scale: CampaignScale, seed0: int
+                    ) -> Dict[Tuple[str, str, int], ExecutionResult]:
+    seeds = [seed0 + i for i in range(max(2, scale.seeds_per_env - 1))]
+    out = {}
+    for trace, mw in _ABLATION_ENVS:
+        for s in seeds:
+            cfg = ExecutionConfig(trace=trace, middleware=mw,
+                                  category="SMALL", seed=s,
+                                  bot_size=scale.bot_size("SMALL"))
+            out[(trace, mw, s)] = run_execution(cfg)
+    return out
+
+
+def ablation_threshold_report(scale: Optional[CampaignScale] = None
+                              ) -> ExperimentReport:
+    """Sweep the completion-threshold trigger — the paper fixes 90%;
+    this quantifies the TRE/spend trade-off around that choice."""
+    scale = scale or get_scale()
+    rep = ExperimentReport(
+        "Ablation A1", "Completion-threshold sweep (9C-C-R variants)")
+    table = TextTable(
+        "Trigger threshold vs outcome (seti/boinc + nd/xwhep, SMALL)",
+        ["threshold", "mean TRE %", "mean credits %"],
+        note="the paper fixes 90%: earlier triggers buy little extra TRE "
+             "for noticeably more credits")
+    bases = _ablation_bases(scale, 2000)
+    for thr in (0.80, 0.85, 0.90, 0.95):
+        tres, spends = [], []
+        for key, base in bases.items():
+            res = run_execution(
+                base.config.with_strategy(HEADLINE_COMBO, threshold=thr))
+            if has_material_tail(base):
+                tres.append(tail_removal_efficiency(
+                    base.makespan, res.makespan, base.ideal_time))
+            spends.append(res.credits_used_pct)
+        table.add_row(f"{thr:.0%}",
+                      f"{float(np.mean(tres)):.1f}" if tres else "-",
+                      f"{float(np.mean(spends)):.1f}")
+    rep.tables.append(table)
+    return rep
+
+
+def ablation_budget_report(scale: Optional[CampaignScale] = None
+                           ) -> ExperimentReport:
+    """Sweep the credit provision (2.5-20% of the workload) — the paper
+    fixes 10%; this shows where the tail removal saturates."""
+    scale = scale or get_scale()
+    rep = ExperimentReport(
+        "Ablation A2", "Credit-budget sweep (9C-C-R, fraction of workload)")
+    table = TextTable(
+        "Provision vs outcome (seti/boinc + nd/xwhep, SMALL)",
+        ["provision %", "mean TRE %", "mean credits spent (abs)"],
+        note="the paper provisions 10% of the workload and spends <25% of "
+             "it; TRE saturates well below the full budget")
+    bases = _ablation_bases(scale, 3000)
+    for frac in (0.025, 0.05, 0.10, 0.20):
+        tres, spent = [], []
+        for key, base in bases.items():
+            res = run_execution(base.config.with_strategy(HEADLINE_COMBO)
+                                .with_credit_fraction(frac))
+            if has_material_tail(base):
+                tres.append(tail_removal_efficiency(
+                    base.makespan, res.makespan, base.ideal_time))
+            spent.append(res.credits_spent)
+        table.add_row(f"{frac:.1%}",
+                      f"{float(np.mean(tres)):.1f}" if tres else "-",
+                      f"{float(np.mean(spent)):.0f}")
+    rep.tables.append(table)
+    return rep
+
+
+def ablation_middleware_report(scale: Optional[CampaignScale] = None
+                               ) -> ExperimentReport:
+    """Sweep the middleware volatility knobs the tail depends on:
+    BOINC's ``delay_bound`` and XWHEP's ``worker_timeout``."""
+    scale = scale or get_scale()
+    rep = ExperimentReport(
+        "Ablation A3", "Middleware timeout knobs vs tail slowdown "
+                       "(no SpeQuloS)")
+    from repro.experiments.runner import run_execution_with_middleware
+    table = TextTable(
+        "Tail slowdown sensitivity",
+        ["middleware", "knob", "value (s)", "mean slowdown"],
+        note="BOINC's day-long delay_bound is the root of its 10x tails "
+             "(§2.2); XWHEP's 900s detection keeps tails shorter")
+    seeds = [4000 + i for i in range(max(2, scale.seeds_per_env - 1))]
+    for db in (21600.0, 86400.0, 172800.0):
+        slows = []
+        for s in seeds:
+            cfg = ExecutionConfig(trace="seti", middleware="boinc",
+                                  category="SMALL", seed=s,
+                                  bot_size=scale.bot_size("SMALL"))
+            res = run_execution_with_middleware(cfg, delay_bound=db)
+            slows.append(res.slowdown)
+        table.add_row("boinc", "delay_bound", f"{db:.0f}",
+                      f"{float(np.mean(slows)):.2f}")
+    for wt in (300.0, 900.0, 3600.0):
+        slows = []
+        for s in seeds:
+            cfg = ExecutionConfig(trace="g5klyo", middleware="xwhep",
+                                  category="SMALL", seed=s,
+                                  bot_size=scale.bot_size("SMALL"))
+            res = run_execution_with_middleware(cfg, worker_timeout=wt)
+            slows.append(res.slowdown)
+        table.add_row("xwhep", "worker_timeout", f"{wt:.0f}",
+                      f"{float(np.mean(slows)):.2f}")
+    rep.tables.append(table)
+    return rep

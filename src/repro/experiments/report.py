@@ -1,0 +1,103 @@
+"""Plain-text rendering of experiment outputs.
+
+The paper's tables and figures are regenerated as ASCII tables and
+(x, y) series; every bench writes its output both to stdout and to
+``benchmarks/results/<experiment>.txt`` so EXPERIMENTS.md can quote
+paper-vs-measured numbers from a stable location.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+__all__ = ["TextTable", "Series", "ExperimentReport", "results_dir"]
+
+
+def results_dir() -> str:
+    """Directory where benches drop their text outputs."""
+    root = os.environ.get("REPRO_RESULTS_DIR")
+    if root is None:
+        here = os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__)))))
+        root = os.path.join(here, "benchmarks", "results")
+    os.makedirs(root, exist_ok=True)
+    return root
+
+
+@dataclass
+class TextTable:
+    """A fixed-width table with a title and optional note."""
+
+    title: str
+    columns: List[str]
+    rows: List[List[str]] = field(default_factory=list)
+    note: Optional[str] = None
+
+    def add_row(self, *cells: object) -> None:
+        self.rows.append([str(c) for c in cells])
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(c.ljust(widths[i])
+                           for i, c in enumerate(self.columns))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append("  ".join(cell.rjust(widths[i])
+                                   for i, cell in enumerate(row)))
+        if self.note:
+            lines.append("")
+            lines.append(f"note: {self.note}")
+        return "\n".join(lines)
+
+
+@dataclass
+class Series:
+    """One plotted curve, rendered as aligned (x, y) pairs."""
+
+    label: str
+    x: Sequence[float]
+    y: Sequence[float]
+
+    def render(self, x_fmt: str = "{:.3g}", y_fmt: str = "{:.3f}") -> str:
+        pairs = "  ".join(f"({x_fmt.format(x)},{y_fmt.format(y)})"
+                          for x, y in zip(self.x, self.y))
+        return f"{self.label}: {pairs}"
+
+
+@dataclass
+class ExperimentReport:
+    """Everything one experiment prints/saves: tables + series + notes."""
+
+    experiment_id: str
+    title: str
+    tables: List[TextTable] = field(default_factory=list)
+    series: List[Series] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        parts = [f"### {self.experiment_id}: {self.title}"]
+        for table in self.tables:
+            parts.append(table.render())
+        for s in self.series:
+            parts.append(s.render())
+        for n in self.notes:
+            parts.append(f"note: {n}")
+        return "\n\n".join(parts) + "\n"
+
+    def save(self, filename: Optional[str] = None) -> str:
+        """Write the rendered report under the results directory."""
+        name = filename or f"{self.experiment_id.lower().replace(' ', '_')}.txt"
+        path = os.path.join(results_dir(), name)
+        with open(path, "w") as fh:
+            fh.write(self.render())
+        return path
+
+    def show(self) -> None:
+        print(self.render())

@@ -1,0 +1,269 @@
+"""Execution runner: one config in, one result out — plus the parallel
+campaign fan-out.
+
+The runner assembles the full stack for each execution: synthesize the
+BE-DCI trace, build the middleware server over a node pool, draw the
+BoT, optionally stand up a complete SpeQuloS service (Information +
+Credit + Oracle + Scheduler + cloud driver), submit, and simulate to
+completion (or to the horizon, in which case the result is censored).
+
+Trace realizations are cached per (trace, seed, cap, horizon) within a
+process: the paired with/without runs and the 18-combination strategy
+grid replay the same environment, so regeneration would be pure waste.
+Only the raw interval arrays are cached — Node objects carry a scan
+cursor and are rebuilt per execution.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.metrics import (
+    CompletionProfile,
+    ideal_completion_time,
+    tail_fraction_of_tasks,
+    tail_fraction_of_time,
+    tail_slowdown,
+)
+from repro.cloud.registry import get_driver
+from repro.core.credit import CREDITS_PER_CPU_HOUR
+from repro.core.service import SpeQuloS
+from repro.core.strategies import parse_combo
+from repro.experiments.config import ExecutionConfig
+from repro.infra.catalog import get_trace_spec
+from repro.infra.node import Node
+from repro.infra.pool import NodePool
+from repro.middleware import make_server
+from repro.simulator.engine import Simulation
+from repro.workload.generator import make_bot
+
+__all__ = ["ExecutionResult", "run_execution", "run_campaign"]
+
+
+@dataclass
+class ExecutionResult:
+    """Everything the figures/tables need from one execution."""
+
+    config: ExecutionConfig
+    makespan: float
+    censored: bool
+    n_tasks: int
+    completion_times: np.ndarray
+    #: tc(x) for x = 1..100 % (prediction benches re-fit alpha on this)
+    tc_grid: np.ndarray
+    ideal_time: float
+    slowdown: float
+    pct_tasks_in_tail: float
+    pct_time_in_tail: float
+    credits_provisioned: float
+    credits_spent: float
+    workers_launched: int
+    cloud_cpu_hours: float
+    cloud_completions: int
+    events: int
+    wall_seconds: float
+    server_stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def profile(self) -> CompletionProfile:
+        return CompletionProfile(self.completion_times)
+
+    @property
+    def credits_used_pct(self) -> float:
+        """Figure 5's metric: spent / provisioned, in percent."""
+        if self.credits_provisioned <= 0:
+            return 0.0
+        return 100.0 * self.credits_spent / self.credits_provisioned
+
+
+# ---------------------------------------------------------------------------
+# trace realization cache (per process)
+# ---------------------------------------------------------------------------
+_TraceKey = Tuple[str, int, int, float]
+_trace_cache: Dict[_TraceKey, List[Tuple[np.ndarray, np.ndarray, float, str]]] = {}
+_TRACE_CACHE_MAX = 6
+
+
+def _materialize_cached(trace: str, seed: int, cap: int,
+                        horizon: float) -> List[Node]:
+    key = (trace, seed, cap, horizon)
+    raw = _trace_cache.get(key)
+    if raw is None:
+        rng = np.random.default_rng([seed, 0xACE])
+        nodes = get_trace_spec(trace).materialize(rng, horizon, cap)
+        raw = [(n.starts, n.ends, n.power, n.tag) for n in nodes]
+        if len(_trace_cache) >= _TRACE_CACHE_MAX:
+            _trace_cache.pop(next(iter(_trace_cache)))
+        _trace_cache[key] = raw
+    return [Node(i, power, starts, ends, tag=tag)
+            for i, (starts, ends, power, tag) in enumerate(raw)]
+
+
+# ---------------------------------------------------------------------------
+def run_execution(cfg: ExecutionConfig,
+                  middleware_config: Optional[object] = None
+                  ) -> ExecutionResult:
+    """Simulate one BoT execution and collect its metrics.
+
+    ``middleware_config`` optionally overrides the standard BOINC/XWHEP
+    parameters (ablation studies); pass a
+    :class:`~repro.middleware.boinc.BoincConfig` or
+    :class:`~repro.middleware.xwhep.XWHepConfig` matching
+    ``cfg.middleware``.
+    """
+    wall0 = time.perf_counter()
+    horizon = cfg.horizon
+
+    nodes = _materialize_cached(cfg.trace, cfg.seed, cfg.node_cap(), horizon)
+    sim = Simulation(horizon=horizon)
+    pool = NodePool(nodes, rng=np.random.default_rng([cfg.seed, 0xB00]))
+    server = make_server(cfg.middleware, sim, pool,
+                         config=middleware_config)
+    bot = make_bot(cfg.category, np.random.default_rng([cfg.seed, 0xB07]),
+                   bot_id=f"bot-{cfg.seed}", size_override=cfg.bot_size)
+
+    service: Optional[SpeQuloS] = None
+    bot_id = bot.bot_id
+    if cfg.strategy is not None:
+        combo = parse_combo(cfg.strategy)
+        if cfg.strategy_threshold != combo.threshold:
+            combo = combo.with_threshold(cfg.strategy_threshold)
+        service = SpeQuloS(sim)
+        driver = get_driver(cfg.provider, sim,
+                            rng=np.random.default_rng([cfg.seed, 0xC10]))
+        service.connect_dci(cfg.env_name(), server, driver)
+        service.register_qos(bot, cfg.env_name(), combo)
+        provision = (cfg.credit_fraction * bot.workload_cpu_hours
+                     * CREDITS_PER_CPU_HOUR)
+        service.credits.deposit("user", provision)
+        service.order_qos(bot_id, "user", provision)
+    else:
+        # Plain monitoring (no QoS): reuse the Information monitor as a
+        # standalone observer so both arms record identical series.
+        from repro.core.info import BoTMonitor
+        monitor = BoTMonitor(bot, 0.0)
+        server.add_observer(monitor)
+
+    class _Stop:
+        def on_bot_completed(self, bid: str, t: float) -> None:
+            if bid == bot_id:
+                sim.stop()
+
+    server.add_observer(_Stop())
+    server.submit_bot(bot, at=0.0)
+    sim.run()
+
+    mon = service.monitor(bot_id) if service is not None else monitor
+    censored = not mon.done
+    if censored:
+        # Horizon reached: score unfinished tasks at the horizon.
+        missing = mon.total - mon.completed_count
+        times = np.concatenate([np.asarray(mon.completion_times),
+                                np.full(missing, horizon)])
+    else:
+        times = np.asarray(mon.completion_times)
+    profile = CompletionProfile(np.sort(times))
+
+    credits_prov = credits_spent = 0.0
+    workers = 0
+    cloud_hours = 0.0
+    cloud_completions = 0
+    if service is not None:
+        run = service.run_for(bot_id)
+        service.scheduler.finalize(run)  # settle accounts if censored
+        order = service.credits.get_order(bot_id)
+        if order is not None:
+            credits_prov, credits_spent = order.provisioned, order.spent
+        workers = run.workers_launched
+        cloud_hours = run.driver.total_cpu_hours()
+        cloud_completions = (run.coordinator.completions
+                             if run.coordinator is not None else 0)
+
+    from repro.core.info import tc_grid as _grid
+    return ExecutionResult(
+        config=cfg,
+        makespan=profile.makespan,
+        censored=censored,
+        n_tasks=bot.size,
+        completion_times=profile.times,
+        tc_grid=_grid(list(profile.times), bot.size),
+        ideal_time=ideal_completion_time(profile),
+        slowdown=tail_slowdown(profile),
+        pct_tasks_in_tail=100.0 * tail_fraction_of_tasks(profile),
+        pct_time_in_tail=100.0 * tail_fraction_of_time(profile),
+        credits_provisioned=credits_prov,
+        credits_spent=credits_spent,
+        workers_launched=workers,
+        cloud_cpu_hours=cloud_hours,
+        cloud_completions=cloud_completions,
+        events=sim.events_processed,
+        wall_seconds=time.perf_counter() - wall0,
+        server_stats=vars(server.stats).copy(),
+    )
+
+
+# ---------------------------------------------------------------------------
+def run_execution_with_middleware(cfg: ExecutionConfig,
+                                  delay_bound: Optional[float] = None,
+                                  worker_timeout: Optional[float] = None,
+                                  **kwargs) -> ExecutionResult:
+    """Ablation entry point: run with overridden middleware knobs."""
+    if cfg.middleware == "boinc":
+        from repro.middleware.boinc import BoincConfig
+        base = BoincConfig()
+        mw_cfg = BoincConfig(
+            target_nresults=kwargs.get("target_nresults",
+                                       base.target_nresults),
+            min_quorum=kwargs.get("min_quorum", base.min_quorum),
+            delay_bound=delay_bound if delay_bound is not None
+            else base.delay_bound,
+            one_result_per_user_per_wu=kwargs.get(
+                "one_result_per_user_per_wu",
+                base.one_result_per_user_per_wu))
+    else:
+        from repro.middleware.xwhep import XWHepConfig
+        base = XWHepConfig()
+        mw_cfg = XWHepConfig(
+            keep_alive_period=kwargs.get("keep_alive_period",
+                                         base.keep_alive_period),
+            worker_timeout=worker_timeout if worker_timeout is not None
+            else base.worker_timeout)
+    return run_execution(cfg, middleware_config=mw_cfg)
+
+
+# ---------------------------------------------------------------------------
+def run_campaign(configs: Sequence[ExecutionConfig],
+                 n_jobs: Optional[int] = None) -> List[ExecutionResult]:
+    """Run many executions, optionally across processes.
+
+    Results come back in input order.  ``n_jobs=None`` picks a
+    process count from the machine (1 disables multiprocessing, which
+    is also the fallback when the pool cannot start).
+    """
+    configs = list(configs)
+    if n_jobs is None:
+        import os
+        n_jobs = max(1, min(8, (os.cpu_count() or 2) - 1))
+    if n_jobs <= 1 or len(configs) < 4:
+        return [run_execution(c) for c in configs]
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+        # Sort so executions sharing a trace realization land in the
+        # same worker often enough for the cache to help; restore order
+        # afterwards.
+        order = sorted(range(len(configs)),
+                       key=lambda i: (configs[i].trace, configs[i].seed))
+        chunk = max(1, len(configs) // (n_jobs * 4))
+        with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+            shuffled = [configs[i] for i in order]
+            done = list(pool.map(run_execution, shuffled, chunksize=chunk))
+        results: List[Optional[ExecutionResult]] = [None] * len(configs)
+        for pos, res in zip(order, done):
+            results[pos] = res
+        return results  # type: ignore[return-value]
+    except (OSError, ImportError):  # pragma: no cover - env dependent
+        return [run_execution(c) for c in configs]

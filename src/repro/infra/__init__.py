@@ -1,0 +1,33 @@
+"""Best-Effort DCI substrate: node availability models and trace catalog.
+
+The paper drives its simulations with six availability traces (Table 2):
+two desktop grids from the Failure Trace Archive (``seti``, ``nd``), two
+best-effort Grid'5000 clusters (``g5klyo``, ``g5kgre``) and two Amazon
+EC2 spot-market scenarios (``spot10``, ``spot100``).  None of those
+datasets is available offline, so this package *synthesizes* traces
+whose published statistics (duration quartiles, mean node counts, node
+power) match Table 2 — see DESIGN.md §3 for the substitution argument.
+"""
+
+from repro.infra.catalog import TRACE_NAMES, TraceSpec, get_trace_spec, list_trace_specs
+from repro.infra.node import Node
+from repro.infra.pool import NodePool
+from repro.infra.quantile import PiecewiseLogQuantile
+from repro.infra.renewal import RenewalTraceGenerator
+from repro.infra.spot import SpotMarket, spot_intervals
+from repro.infra.stats import TraceStats, measure_trace
+
+__all__ = [
+    "Node",
+    "NodePool",
+    "PiecewiseLogQuantile",
+    "RenewalTraceGenerator",
+    "SpotMarket",
+    "spot_intervals",
+    "TraceSpec",
+    "TraceStats",
+    "TRACE_NAMES",
+    "get_trace_spec",
+    "list_trace_specs",
+    "measure_trace",
+]

@@ -1,0 +1,59 @@
+"""Interval-set algebra helpers (sorted, disjoint [start, end) arrays).
+
+Small two-pointer routines shared by the trace generators: the
+Grid'5000 model intersects per-node renewal schedules with day/night
+participation windows, and trace statistics need interval overlap
+counts.  All functions take and return parallel ``(starts, ends)``
+NumPy arrays that are sorted and pairwise disjoint.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["intersect", "total_length", "validate"]
+
+Arr = np.ndarray
+
+
+def validate(starts: Arr, ends: Arr) -> None:
+    """Raise ValueError unless (starts, ends) is a valid interval set."""
+    starts = np.asarray(starts, dtype=float)
+    ends = np.asarray(ends, dtype=float)
+    if starts.shape != ends.shape:
+        raise ValueError("starts/ends shape mismatch")
+    if starts.size == 0:
+        return
+    if not np.all(ends > starts):
+        raise ValueError("empty or inverted interval present")
+    if not np.all(starts[1:] >= ends[:-1]):
+        raise ValueError("intervals overlap or are unsorted")
+
+
+def total_length(starts: Arr, ends: Arr) -> float:
+    """Sum of interval lengths."""
+    if len(starts) == 0:
+        return 0.0
+    return float(np.sum(np.asarray(ends) - np.asarray(starts)))
+
+
+def intersect(s1: Arr, e1: Arr, s2: Arr, e2: Arr) -> Tuple[Arr, Arr]:
+    """Intersection of two interval sets (two-pointer merge)."""
+    out_s: list[float] = []
+    out_e: list[float] = []
+    i = j = 0
+    n1, n2 = len(s1), len(s2)
+    while i < n1 and j < n2:
+        lo = max(s1[i], s2[j])
+        hi = min(e1[i], e2[j])
+        if hi > lo:
+            out_s.append(float(lo))
+            out_e.append(float(hi))
+        # advance whichever interval ends first
+        if e1[i] <= e2[j]:
+            i += 1
+        else:
+            j += 1
+    return np.asarray(out_s), np.asarray(out_e)

@@ -1,0 +1,206 @@
+"""Lazy node pool: serves available idle workers to the middleware.
+
+The paper's ``seti`` trace averages 24 391 simultaneously available
+nodes while a BoT occupies at most a few thousand workers, so an event
+per node transition would dominate the simulation for nothing.  The
+pool instead activates nodes *lazily*:
+
+* ``_ready_*`` — unordered lists of idle nodes believed to be inside an
+  availability interval (entries may be stale; they are validated and
+  recycled on pop);
+* ``_future`` — heap of idle nodes currently unavailable, keyed by next
+  interval start.
+
+Only :meth:`acquire` (the middleware asking for a worker) pays the cost
+of promoting nodes between the two structures; nodes that are never
+needed never generate events.  A node executing a task is owned by the
+middleware (which schedules its completion / preemption / resume
+events) and re-enters the pool through :meth:`release` /
+:meth:`preempted`.
+
+Selection model: desktop-grid work distribution is *pull-based* — the
+server hands a task to whichever idle worker polls next.  Among
+homogeneous volunteers that is equivalent to a uniformly random pick.
+Dedicated cloud workers, however, poll far more aggressively than
+desktop clients (they exist only to serve this server and pay no
+user-activity backoff), so when both kinds sit idle the next poll is
+more likely to come from the cloud side.  ``cloud_poll_weight`` models
+that: a single idle cloud worker is ``w`` times more likely to get the
+next task than a single idle regular node.  This is what gives the
+paper's *Flat* strategy its modest-but-nonzero tail pickup (§4.2.1).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.infra.node import Node
+
+__all__ = ["NodePool"]
+
+
+class NodePool:
+    """Tracks idle nodes and serves poll-weighted random ones on demand."""
+
+    def __init__(self, nodes: Iterable[Node] = (),
+                 rng: Optional[np.random.Generator] = None,
+                 cloud_poll_weight: float = 10.0):
+        if cloud_poll_weight <= 0:
+            raise ValueError("cloud_poll_weight must be positive")
+        self._rng = rng or np.random.default_rng(0)
+        self.cloud_poll_weight = float(cloud_poll_weight)
+        self._ready_reg: List[Node] = []
+        self._ready_cloud: List[Node] = []
+        self._future: List[Tuple[float, int, Node]] = []  # (next_start, id, node)
+        self._members: set[int] = set()
+        self.size = 0
+        for n in nodes:
+            self.add(n, at=0.0)
+
+    # ------------------------------------------------------------------
+    def add(self, node: Node, at: float) -> None:
+        """Register a node; it becomes acquirable from time ``at``."""
+        if node.node_id in self._members:
+            raise ValueError(f"node {node.node_id} already in pool")
+        self._members.add(node.node_id)
+        self.size += 1
+        self._enqueue(node, at)
+
+    def remove(self, node: Node) -> None:
+        """Unregister a node (stale queue entries are skipped lazily)."""
+        if node.node_id not in self._members:
+            return
+        self._members.discard(node.node_id)
+        self.size -= 1
+
+    def __contains__(self, node: Node) -> bool:
+        return node.node_id in self._members
+
+    def _enqueue(self, node: Node, at: float) -> None:
+        """File an idle member node under ready or future."""
+        nxt = node.next_available(at)
+        if nxt is None:
+            # Never comes back within the trace horizon: drop silently.
+            self._members.discard(node.node_id)
+            self.size -= 1
+            return
+        start, _end = nxt
+        if start <= at:
+            (self._ready_cloud if node.cloud else self._ready_reg).append(node)
+        else:
+            heapq.heappush(self._future, (start, node.node_id, node))
+
+    def _promote(self, t: float) -> None:
+        """Move nodes whose next interval has started into ready."""
+        future = self._future
+        while future and future[0][0] <= t:
+            _, nid, node = heapq.heappop(future)
+            if nid not in self._members:
+                continue
+            (self._ready_cloud if node.cloud else self._ready_reg).append(node)
+
+    # ------------------------------------------------------------------
+    def _pop_from(self, ready: List[Node], t: float
+                  ) -> Optional[Tuple[Node, float]]:
+        while ready:
+            i = int(self._rng.integers(len(ready)))
+            ready[i], ready[-1] = ready[-1], ready[i]
+            node = ready.pop()
+            if node.node_id not in self._members:
+                continue
+            iv = node.interval_at(t)
+            if iv is None:
+                # Stale: its interval ended while it sat idle; refile.
+                self._enqueue(node, t)
+                continue
+            return node, iv[1]
+        return None
+
+    def acquire(self, t: float) -> Optional[Tuple[Node, float]]:
+        """Pop an idle node available at time ``t`` (poll-weighted).
+
+        Returns ``(node, interval_end)`` or ``None``.  The caller owns
+        the node until :meth:`release` (still alive) or
+        :meth:`preempted` (availability interval ended under it).
+        """
+        self._promote(t)
+        while self._ready_reg or self._ready_cloud:
+            w_cloud = self.cloud_poll_weight * len(self._ready_cloud)
+            w_total = w_cloud + len(self._ready_reg)
+            pick_cloud = (w_cloud > 0
+                          and self._rng.random() * w_total < w_cloud)
+            got = self._pop_from(
+                self._ready_cloud if pick_cloud else self._ready_reg, t)
+            if got is not None:
+                return got
+            # Chosen side was entirely stale; loop re-weights what's left.
+        return None
+
+    def release(self, node: Node, t: float) -> None:
+        """Return a node that is still alive at ``t`` (task finished)."""
+        if node.node_id not in self._members:
+            return  # retired while busy (e.g. a stopped cloud worker)
+        self._enqueue(node, t)
+
+    def preempted(self, node: Node, t: float) -> None:
+        """Return a node whose availability ended at ``t``; it re-enters
+        through its next availability interval."""
+        if node.node_id not in self._members:
+            return
+        self._enqueue(node, t)
+
+    # ------------------------------------------------------------------
+    def has_ready(self, t: float) -> bool:
+        """Whether at least one idle node is available right now."""
+        self._promote(t)
+        for ready in (self._ready_reg, self._ready_cloud):
+            for node in ready:
+                if node.node_id in self._members and node.interval_at(t):
+                    return True
+        return False
+
+    def next_future_start(self, t: float) -> Optional[float]:
+        """Earliest future time an *idle, currently away* node returns.
+
+        Used to schedule a dispatch wake-up when pending work found no
+        available node.  Stale ready entries are refiled first so their
+        next intervals are taken into account.
+        """
+        self._promote(t)
+        any_ready = False
+        for attr in ("_ready_reg", "_ready_cloud"):
+            ready = getattr(self, attr)
+            keep: List[Node] = []
+            refile: List[Node] = []
+            for node in ready:
+                if node.node_id not in self._members:
+                    continue
+                if node.interval_at(t) is not None:
+                    keep.append(node)  # available now — caller can acquire
+                else:
+                    refile.append(node)
+            setattr(self, attr, keep)
+            for node in refile:
+                self._enqueue(node, t)
+            any_ready = any_ready or bool(getattr(self, attr))
+        if any_ready:
+            return t
+        while self._future and self._future[0][1] not in self._members:
+            heapq.heappop(self._future)
+        if self._future:
+            return self._future[0][0]
+        return None
+
+    def idle_count(self, t: float) -> int:
+        """Idle nodes available right now (O(pool); stats/debug only)."""
+        self._promote(t)
+        return sum(1 for ready in (self._ready_reg, self._ready_cloud)
+                   for n in ready
+                   if n.node_id in self._members and n.interval_at(t))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<NodePool size={self.size} reg~{len(self._ready_reg)} "
+                f"cloud~{len(self._ready_cloud)} future~{len(self._future)}>")

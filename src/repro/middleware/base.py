@@ -1,0 +1,353 @@
+"""Shared desktop-grid server machinery.
+
+Both middleware models (BOINC, XtremWeb-HEP) share the same skeleton:
+
+* a *pending queue* of execution units waiting for a worker;
+* a *dispatch loop* that pairs pending units with idle available nodes
+  from the :class:`~repro.infra.pool.NodePool`;
+* per-task bookkeeping (:class:`TaskState`) feeding the observer
+  protocol that the SpeQuloS Information module and the metric
+  collectors subscribe to;
+* the cloud-worker integration points used by the three deployment
+  strategies of §3.5: *Flat* (cloud nodes join the ordinary pool),
+  *Reschedule* (:meth:`DGServer.fetch_for_cloud` serves pending work
+  first, then duplicates of running work) and *Cloud duplication*
+  (:meth:`DGServer.external_complete` merges results computed on a
+  separate cloud-side server).
+
+Subclasses implement unit selection and the execution lifecycle —
+that is exactly where the two middleware differ in how they survive
+volatility.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Protocol, Tuple
+
+from repro.infra.node import Node
+from repro.infra.pool import NodePool
+from repro.simulator.engine import Event, Simulation
+from repro.workload.bot import BagOfTasks, Task
+
+__all__ = ["DGServer", "ServerObserver", "ServerStats", "TaskState", "GTID"]
+
+#: Global task id: (bot_id, task_id) — servers can host several BoTs.
+GTID = Tuple[str, int]
+
+
+class ServerObserver(Protocol):
+    """Callbacks the server emits; all methods are optional no-ops."""
+
+    def on_task_arrived(self, gtid: GTID, t: float) -> None: ...
+
+    def on_task_first_assigned(self, gtid: GTID, t: float) -> None: ...
+
+    def on_task_completed(self, gtid: GTID, t: float) -> None: ...
+
+    def on_bot_completed(self, bot_id: str, t: float) -> None: ...
+
+
+@dataclass
+class ServerStats:
+    """Aggregate event counters (tests and diagnostics)."""
+
+    arrivals: int = 0
+    assignments: int = 0
+    completions: int = 0
+    discarded_results: int = 0
+    preemptions: int = 0
+    timeouts: int = 0
+    reissues: int = 0
+    cloud_assignments: int = 0
+    suspensions: int = 0
+    resumes: int = 0
+
+
+@dataclass(eq=False)
+class TaskState:
+    """Server-side state of one task (BOINC: workunit).
+
+    Identity semantics (``eq=False``): two states are the same object
+    or different tasks; sets of states are used for candidate scans.
+
+    ``done`` flips exactly once; late or duplicate results arriving
+    afterwards are discarded (counted in
+    :attr:`ServerStats.discarded_results`).
+    """
+
+    gtid: GTID
+    task: Task
+    done: bool = False
+    arrival_time: float = 0.0
+    first_assign_time: Optional[float] = None
+    completion_time: Optional[float] = None
+    #: replicas/executions currently counted as live by the server
+    outstanding: int = 0
+    #: number of live cloud-side duplicates (Reschedule bookkeeping)
+    cloud_dups: int = 0
+    #: node ids that ever received this task (BOINC one-result-per-user)
+    workers: set = field(default_factory=set)
+    #: BOINC: validated results so far
+    ok_results: int = 0
+    #: whether the task currently sits in the pending queue (XWHEP)
+    queued: bool = False
+
+
+class _BotProgress:
+    """Per-BoT completion accounting."""
+
+    __slots__ = ("bot", "total", "arrived", "completed", "submit_time")
+
+    def __init__(self, bot: BagOfTasks, submit_time: float):
+        self.bot = bot
+        self.total = bot.size
+        self.arrived = 0
+        self.completed = 0
+        self.submit_time = submit_time
+
+
+class DGServer:
+    """Abstract desktop-grid server (see module docstring).
+
+    Parameters
+    ----------
+    sim, pool:
+        The shared event engine and the BE-DCI node pool.
+    name:
+        Label used in diagnostics.
+    """
+
+    def __init__(self, sim: Simulation, pool: NodePool, name: str = "dg"):
+        self.sim = sim
+        self.pool = pool
+        self.name = name
+        self.stats = ServerStats()
+        self.tasks: Dict[GTID, TaskState] = {}
+        self.pending: Deque = deque()
+        self.observers: List[ServerObserver] = []
+        self._bots: Dict[str, _BotProgress] = {}
+        self._busy: Dict[int, GTID] = {}          # node_id -> gtid
+        self._wakeup: Optional[Event] = None
+        #: nodes flagged as cloud workers currently registered via Flat
+        self._flat_cloud: Dict[int, Node] = {}
+        #: node_id -> callback fired (async) when that node goes idle;
+        #: used by dedicated cloud workers to fetch their next unit
+        self._idle_callbacks: Dict[int, object] = {}
+        #: exact busy-time accounting for cloud workers (billing is for
+        #: CPU actually used, §3.3's "Cloud worker usage")
+        self._cloud_busy_acc: Dict[int, float] = {}
+        self._cloud_busy_since: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit_bot(self, bot: BagOfTasks, at: float = 0.0) -> None:
+        """Submit a BoT; tasks arrive at ``at + task.arrival``."""
+        if bot.bot_id in self._bots:
+            raise ValueError(f"BoT {bot.bot_id!r} already submitted")
+        self._bots[bot.bot_id] = _BotProgress(bot, at)
+        for task in bot:
+            self.sim.at(at + task.arrival, self._arrive, bot.bot_id, task)
+
+    def _arrive(self, bot_id: str, task: Task) -> None:
+        t = self.sim.now
+        gtid = (bot_id, task.task_id)
+        st = TaskState(gtid=gtid, task=task, arrival_time=t)
+        self.tasks[gtid] = st
+        self._bots[bot_id].arrived += 1
+        self.stats.arrivals += 1
+        self._emit("on_task_arrived", gtid, t)
+        self._enqueue_new(st)
+        self._dispatch()
+
+    # ------------------------------------------------------------------
+    # hooks for subclasses
+    # ------------------------------------------------------------------
+    def _enqueue_new(self, st: TaskState) -> None:
+        """Queue the execution unit(s) for a newly arrived task."""
+        raise NotImplementedError
+
+    def _pick_unit(self, node: Node):
+        """Pop the next pending unit this node may execute, or None."""
+        raise NotImplementedError
+
+    def _execute(self, unit, node: Node, interval_end: float) -> None:
+        """Start the unit on the node (schedule its lifecycle events)."""
+        raise NotImplementedError
+
+    def fetch_for_cloud(self, node: Node):
+        """Reschedule strategy: hand a unit to a dedicated cloud worker.
+
+        Must serve pending units first, then duplicates of running
+        work; returns None when nothing useful remains.  The returned
+        unit is *already started* on ``node`` by this call.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # dispatch loop
+    # ------------------------------------------------------------------
+    def _dispatch(self) -> None:
+        """Pair pending units with available idle nodes."""
+        t = self.sim.now
+        set_aside: List[Tuple[Node, float]] = []
+        while self.pending:
+            got = self.pool.acquire(t)
+            if got is None:
+                break
+            node, end = got
+            unit = self._pick_unit(node)
+            if unit is None:
+                # Nothing this node may run (e.g. BOINC already has a
+                # replica of every pending workunit on it) — set it
+                # aside so acquire() does not hand it straight back.
+                set_aside.append((node, end))
+                continue
+            self._execute(unit, node, end)
+        for node, _end in set_aside:
+            self.pool.release(node, t)
+        if self.pending:
+            self._arm_wakeup()
+
+    def _arm_wakeup(self) -> None:
+        """Schedule a dispatch retry when an away node next returns.
+
+        Every other dispatch trigger (release, reissue, arrival) is
+        event-driven; this covers the one case with no event of its
+        own — all nodes simultaneously away.
+        """
+        t = self.sim.now
+        if self._wakeup is not None and not self._wakeup.cancelled:
+            return
+        nxt = self.pool.next_future_start(t)
+        if nxt is None or nxt <= t:
+            return
+        self._wakeup = self.sim.at(nxt, self._on_wakeup)
+
+    def _on_wakeup(self) -> None:
+        self._wakeup = None
+        if self.pending:
+            self._dispatch()
+
+    # ------------------------------------------------------------------
+    # completion bookkeeping (shared by all paths)
+    # ------------------------------------------------------------------
+    def _mark_assigned(self, st: TaskState, node: Node) -> None:
+        t = self.sim.now
+        self.stats.assignments += 1
+        if node.cloud:
+            self.stats.cloud_assignments += 1
+            self._cloud_busy_since[node.node_id] = t
+        st.workers.add(node.node_id)
+        st.outstanding += 1
+        self._busy[node.node_id] = st.gtid
+        if st.first_assign_time is None:
+            st.first_assign_time = t
+            self._emit("on_task_first_assigned", st.gtid, t)
+
+    def _node_freed(self, node: Node) -> None:
+        self._busy.pop(node.node_id, None)
+        since = self._cloud_busy_since.pop(node.node_id, None)
+        if since is not None:
+            acc = self._cloud_busy_acc.get(node.node_id, 0.0)
+            self._cloud_busy_acc[node.node_id] = acc + (self.sim.now - since)
+        cb = self._idle_callbacks.get(node.node_id)
+        if cb is not None:
+            # Fire asynchronously so the agent sees a settled server.
+            self.sim.schedule(0.0, cb)  # type: ignore[arg-type]
+
+    def cloud_busy_seconds(self, node: Node) -> float:
+        """Total CPU seconds this cloud worker spent computing here
+        (including the in-flight unit) — the §3.3 billing basis."""
+        total = self._cloud_busy_acc.get(node.node_id, 0.0)
+        since = self._cloud_busy_since.get(node.node_id)
+        if since is not None:
+            total += self.sim.now - since
+        return total
+
+    def register_idle_callback(self, node: Node, cb) -> None:
+        """Ask to be notified (next event round) whenever ``node`` goes
+        idle on this server — used by Reschedule cloud agents."""
+        self._idle_callbacks[node.node_id] = cb
+
+    def unregister_idle_callback(self, node: Node) -> None:
+        self._idle_callbacks.pop(node.node_id, None)
+
+    def _complete_task(self, st: TaskState) -> None:
+        """Mark a task done (idempotent) and propagate BoT completion."""
+        if st.done:
+            return
+        t = self.sim.now
+        st.done = True
+        st.completion_time = t
+        self.stats.completions += 1
+        self._emit("on_task_completed", st.gtid, t)
+        prog = self._bots.get(st.gtid[0])
+        if prog is not None:
+            prog.completed += 1
+            if prog.completed == prog.total:
+                self._emit("on_bot_completed", st.gtid[0], t)
+
+    def external_complete(self, gtid: GTID, t: float) -> bool:
+        """A result for this task was computed outside this server
+        (cloud-duplication strategy).  Returns True if it was news."""
+        st = self.tasks.get(gtid)
+        if st is None or st.done:
+            return False
+        self._complete_task(st)
+        return True
+
+    # ------------------------------------------------------------------
+    # cloud integration (Flat)
+    # ------------------------------------------------------------------
+    def add_cloud_node(self, node: Node) -> None:
+        """Flat strategy: the cloud worker joins the ordinary pool."""
+        if not node.cloud:
+            raise ValueError("add_cloud_node expects a cloud node")
+        self._flat_cloud[node.node_id] = node
+        self.pool.add(node, self.sim.now)
+        self._dispatch()
+
+    def remove_cloud_node(self, node: Node) -> None:
+        """Withdraw a Flat cloud worker; a running unit finishes first
+        (the SpeQuloS scheduler stops billing when the node goes idle)."""
+        self._flat_cloud.pop(node.node_id, None)
+        self.pool.remove(node)
+
+    def is_busy(self, node: Node) -> bool:
+        """Whether the node currently executes a unit of this server."""
+        return node.node_id in self._busy
+
+    # ------------------------------------------------------------------
+    # queries used by SpeQuloS and the experiment runner
+    # ------------------------------------------------------------------
+    def bot_progress(self, bot_id: str) -> Tuple[int, int, int]:
+        """(total, arrived, completed) for a BoT."""
+        prog = self._bots[bot_id]
+        return prog.total, prog.arrived, prog.completed
+
+    def bot_completed(self, bot_id: str) -> bool:
+        prog = self._bots[bot_id]
+        return prog.completed == prog.total
+
+    def uncompleted_gtids(self, bot_id: str) -> List[GTID]:
+        """Tasks of the BoT not yet done (arrived ones only)."""
+        return [gtid for gtid, st in self.tasks.items()
+                if gtid[0] == bot_id and not st.done]
+
+    def assigned_count(self, bot_id: str) -> int:
+        """Tasks of the BoT that were assigned at least once."""
+        return sum(1 for gtid, st in self.tasks.items()
+                   if gtid[0] == bot_id and st.first_assign_time is not None)
+
+    # ------------------------------------------------------------------
+    def add_observer(self, obs: ServerObserver) -> None:
+        self.observers.append(obs)
+
+    def _emit(self, method: str, *args) -> None:
+        for obs in self.observers:
+            fn = getattr(obs, method, None)
+            if fn is not None:
+                fn(*args)

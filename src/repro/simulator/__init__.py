@@ -1,0 +1,12 @@
+"""Discrete-event simulation engine underlying every experiment.
+
+The engine is intentionally minimal: a monotone event heap with
+cancellable events and deterministic tie-breaking.  All simulated
+components (node pools, middleware servers, the SpeQuloS scheduler,
+cloud workers) schedule callbacks through a single :class:`Simulation`
+instance, so a whole BoT execution is reproducible from one seed.
+"""
+
+from repro.simulator.engine import Event, Simulation, SimulationError
+
+__all__ = ["Event", "Simulation", "SimulationError"]

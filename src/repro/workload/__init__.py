@@ -1,0 +1,26 @@
+"""Bag-of-Tasks workload model (paper §4.1.2, Table 3).
+
+A BoT is an ordered set of independent tasks with a common owner and
+application; tasks carry a cost in number of operations (nops) and an
+arrival time.  Three categories drive the evaluation: ``SMALL`` (1000
+long homogeneous tasks), ``BIG`` (10000 short homogeneous tasks) and
+``RANDOM`` (statistically generated heterogeneous BoTs following the
+analysis of Minh & Wolters).
+"""
+
+from repro.workload.bot import BagOfTasks, Task
+from repro.workload.categories import (
+    BOT_CATEGORIES,
+    BotCategory,
+    get_category,
+)
+from repro.workload.generator import make_bot
+
+__all__ = [
+    "BagOfTasks",
+    "Task",
+    "BotCategory",
+    "BOT_CATEGORIES",
+    "get_category",
+    "make_bot",
+]

@@ -1,0 +1,118 @@
+"""Task and Bag-of-Tasks containers.
+
+Follows the definition the paper adopts from Iosup et al. / Minh &
+Wolters: a BoT is an ordered set of independent tasks
+``β = {T1..Tn}`` with a common owner and application, each task having
+an arrival time ``AT(Ti)`` non-decreasing in ``i`` and a cost in number
+of operations.  The *wall-clock bound* per task (an estimated upper
+bound on individual task execution time) sizes the credit provision:
+the paper allocates credits worth 10 % of ``size × wall_clock`` CPU
+time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence
+
+__all__ = ["Task", "BagOfTasks"]
+
+
+@dataclass(frozen=True)
+class Task:
+    """One independent unit of work.
+
+    Attributes
+    ----------
+    task_id:
+        Index within the BoT (0-based, ordered by arrival).
+    nops:
+        Cost in number of operations; a node of power ``p`` nops/s
+        executes the task in ``nops / p`` seconds of availability.
+    arrival:
+        Submission time relative to the BoT submission instant.
+    """
+
+    task_id: int
+    nops: float
+    arrival: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.nops <= 0:
+            raise ValueError(f"task nops must be positive, got {self.nops}")
+        if self.arrival < 0:
+            raise ValueError("task arrival must be >= 0")
+
+    def duration_on(self, power: float) -> float:
+        """Execution time on a node of the given power (seconds)."""
+        if power <= 0:
+            raise ValueError("power must be positive")
+        return self.nops / power
+
+
+@dataclass
+class BagOfTasks:
+    """An ordered collection of tasks sharing owner and application.
+
+    ``wall_clock`` is the per-task wall-clock bound used for credit
+    provisioning (Table 3 discussion: 11000 s for SMALL, 180 s for BIG,
+    2200 s for RANDOM).
+    """
+
+    bot_id: str
+    tasks: List[Task]
+    category: str = "custom"
+    owner: str = "user"
+    application: str = "app"
+    wall_clock: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.tasks:
+            raise ValueError("a BoT must contain at least one task")
+        arrivals = [t.arrival for t in self.tasks]
+        if any(b < a for a, b in zip(arrivals, arrivals[1:])):
+            raise ValueError("tasks must be ordered by arrival time")
+        if self.wall_clock < 0:
+            raise ValueError("wall_clock must be >= 0")
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self.tasks)
+
+    @property
+    def size(self) -> int:
+        """Number of tasks (Table 3's ``size``)."""
+        return len(self.tasks)
+
+    @property
+    def total_nops(self) -> float:
+        """Sum of task costs."""
+        return sum(t.nops for t in self.tasks)
+
+    @property
+    def workload_cpu_hours(self) -> float:
+        """Credit-provisioning workload: ``size × wall_clock`` in CPU·h.
+
+        This is the paper's definition ("The BoT workload is given by
+        its size multiplied by tasks' wall clock time"), *not* the sum
+        of nops — the wall-clock bound is what a user declares before
+        execution.
+        """
+        return self.size * self.wall_clock / 3600.0
+
+    def arrival_span(self) -> float:
+        """Time between first and last task arrival."""
+        return self.tasks[-1].arrival - self.tasks[0].arrival
+
+    @staticmethod
+    def homogeneous(bot_id: str, size: int, nops: float,
+                    wall_clock: float, category: str = "custom") -> "BagOfTasks":
+        """All-same-cost BoT with simultaneous arrivals (SMALL/BIG shape)."""
+        if size <= 0:
+            raise ValueError("size must be positive")
+        tasks = [Task(i, nops, 0.0) for i in range(size)]
+        return BagOfTasks(bot_id=bot_id, tasks=tasks, category=category,
+                          wall_clock=wall_clock)

@@ -1,0 +1,73 @@
+"""The three BoT categories of Table 3.
+
+==========  ======================  ==========================  ==================
+category    size                    nops / task                 arrival time
+==========  ======================  ==========================  ==================
+SMALL       1000                    3 600 000                   all at t=0
+BIG         10000                   60 000                      all at t=0
+RANDOM      ~ N(mu=1000, s=200)     ~ N(mu=60000, s=10000)      ~ Weib(91.98, 0.57)
+==========  ======================  ==========================  ==================
+
+Wall-clock bounds (used for credit provisioning, §4.1.3): SMALL
+11000 s, BIG 180 s, RANDOM 2200 s.
+
+The RANDOM arrival column is read as the distribution of *absolute*
+arrival times (sorted draws): the alternative reading (inter-arrival
+times) would stretch submission over ~40 hours, contradicting the
+RANDOM completion times of Figure 6 (DESIGN.md §3, interpretation
+notes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+__all__ = ["BotCategory", "BOT_CATEGORIES", "get_category"]
+
+
+@dataclass(frozen=True)
+class BotCategory:
+    """Statistical description of one Table 3 row."""
+
+    name: str
+    #: fixed size, or None when drawn from ``size_normal``
+    size: Optional[int]
+    size_normal: Optional[Tuple[float, float]]  # (mu, sigma)
+    #: fixed nops per task, or None when drawn from ``nops_normal``
+    nops: Optional[float]
+    nops_normal: Optional[Tuple[float, float]]
+    #: Weibull (scale lambda, shape k) of absolute arrival times, or None
+    arrival_weibull: Optional[Tuple[float, float]]
+    #: per-task wall-clock bound, seconds (credit provisioning)
+    wall_clock: float
+
+    @property
+    def heterogeneous(self) -> bool:
+        """Whether task costs vary within a BoT."""
+        return self.nops is None
+
+
+BOT_CATEGORIES: Dict[str, BotCategory] = {
+    "SMALL": BotCategory(
+        name="SMALL", size=1000, size_normal=None,
+        nops=3_600_000.0, nops_normal=None,
+        arrival_weibull=None, wall_clock=11_000.0),
+    "BIG": BotCategory(
+        name="BIG", size=10_000, size_normal=None,
+        nops=60_000.0, nops_normal=None,
+        arrival_weibull=None, wall_clock=180.0),
+    "RANDOM": BotCategory(
+        name="RANDOM", size=None, size_normal=(1000.0, 200.0),
+        nops=None, nops_normal=(60_000.0, 10_000.0),
+        arrival_weibull=(91.98, 0.57), wall_clock=2_200.0),
+}
+
+
+def get_category(name: str) -> BotCategory:
+    """Look up a Table 3 category by (case-insensitive) name."""
+    try:
+        return BOT_CATEGORIES[name.upper()]
+    except KeyError:
+        raise KeyError(f"unknown BoT category {name!r}; "
+                       f"available: {', '.join(BOT_CATEGORIES)}") from None

@@ -1,0 +1,219 @@
+"""BOINC model: replication, quorum, delay_bound, suspend/resume."""
+
+import numpy as np
+import pytest
+
+from repro.infra.node import Node
+from repro.infra.pool import NodePool
+from repro.middleware.boinc import BoincConfig, BoincServer
+from repro.simulator.engine import Simulation
+from repro.workload.bot import BagOfTasks, Task
+
+
+class Collector:
+    def __init__(self):
+        self.completions = []
+        self.bot_done_at = None
+
+    def on_task_completed(self, gtid, t):
+        self.completions.append((gtid, t))
+
+    def on_bot_completed(self, bot_id, t):
+        self.bot_done_at = t
+
+
+def build(nodes, config=None, horizon=1e7, pool_seed=0):
+    sim = Simulation(horizon=horizon)
+    pool = NodePool(nodes, rng=np.random.default_rng(pool_seed))
+    srv = BoincServer(sim, pool, config=config)
+    col = Collector()
+    srv.add_observer(col)
+    return sim, pool, srv, col
+
+
+def stable(nid, power=1000.0, until=1e9):
+    return Node(nid, power, np.array([0.0]), np.array([until]))
+
+
+def bot_of(n, nops=1000.0, bot_id="b"):
+    return BagOfTasks(bot_id=bot_id,
+                      tasks=[Task(i, nops) for i in range(n)],
+                      wall_clock=nops / 1000.0)
+
+
+def test_workunit_needs_quorum_results():
+    sim, _, srv, col = build([stable(1), stable(2), stable(3)])
+    srv.submit_bot(bot_of(1, nops=1000.0))
+    sim.run()
+    # 3 replicas issued in parallel; quorum 2 -> complete at 1 s
+    assert col.bot_done_at == pytest.approx(1.0)
+    assert srv.stats.assignments == 3
+
+
+def test_quorum_one_completes_with_first_result():
+    cfg = BoincConfig(target_nresults=1, min_quorum=1)
+    sim, _, srv, col = build([stable(1)], config=cfg)
+    srv.submit_bot(bot_of(2, nops=1000.0))
+    sim.run()
+    assert col.bot_done_at == pytest.approx(2.0)
+    assert srv.stats.assignments == 2
+
+
+def test_one_result_per_user_per_wu_blocks_same_node():
+    """A single node can never satisfy a quorum of 2 by itself."""
+    cfg = BoincConfig(target_nresults=2, min_quorum=2)
+    sim, _, srv, col = build([stable(1)], config=cfg)
+    srv.submit_bot(bot_of(1, nops=1000.0))
+    sim.run(until=10_000.0)
+    assert col.bot_done_at is None  # stuck: needs a second worker
+    assert srv.stats.assignments == 1
+
+
+def test_one_result_per_user_disabled_allows_same_node():
+    cfg = BoincConfig(target_nresults=2, min_quorum=2,
+                      one_result_per_user_per_wu=False)
+    sim, _, srv, col = build([stable(1)], config=cfg)
+    srv.submit_bot(bot_of(1, nops=1000.0))
+    sim.run()
+    assert col.bot_done_at == pytest.approx(2.0)
+
+
+def test_heterogeneous_powers_quorum_waits_for_second():
+    nodes = [stable(1, power=1000.0), stable(2, power=500.0),
+             stable(3, power=100.0)]
+    sim, _, srv, col = build(nodes)
+    srv.submit_bot(bot_of(1, nops=1000.0))
+    sim.run()
+    # results at 1 s, 2 s, 10 s; quorum of 2 reached at 2 s
+    assert col.bot_done_at == pytest.approx(2.0)
+    assert srv.stats.discarded_results == 1  # the 10 s result is late
+
+
+def test_suspend_resume_preserves_progress():
+    """BOINC clients checkpoint: an interrupted replica resumes and
+    only computes the remaining operations."""
+    cfg = BoincConfig(target_nresults=1, min_quorum=1)
+    # available [0, 6), gap, then [10, inf): a 10 s task finishes at
+    # 10 + remaining 4 s = 14 s (NOT 20 s: progress kept)
+    n = Node(1, 1000.0, np.array([0.0, 10.0]), np.array([6.0, 1e9]))
+    sim, _, srv, col = build([n], config=cfg)
+    srv.submit_bot(bot_of(1, nops=10_000.0))
+    sim.run()
+    assert col.bot_done_at == pytest.approx(14.0)
+    assert srv.stats.suspensions == 1
+    assert srv.stats.resumes == 1
+
+
+def test_delay_bound_reissues_stalled_replica():
+    cfg = BoincConfig(target_nresults=1, min_quorum=1, delay_bound=100.0)
+    # node 1 dies at t=5 and never returns; node 2 arrives later
+    n1 = Node(1, 1000.0, np.array([0.0]), np.array([5.0]))
+    n2 = Node(2, 1000.0, np.array([50.0]), np.array([1e9]))
+    sim, _, srv, col = build([n1, n2], config=cfg)
+    srv.submit_bot(bot_of(1, nops=10_000.0))
+    sim.run()
+    # timeout at 100 -> reissue on node 2 -> 10 s
+    assert col.bot_done_at == pytest.approx(110.0)
+    assert srv.stats.timeouts == 1
+    assert srv.stats.reissues == 1
+
+
+def test_late_result_counts_if_wu_incomplete():
+    """A result arriving after delay_bound still validates (BOINC
+    behaviour) when the workunit is not yet complete."""
+    cfg = BoincConfig(target_nresults=1, min_quorum=1, delay_bound=100.0)
+    # node 1 suspends [5, 200), resumes and finishes at 205;
+    # no other node exists, so the timeout reissue finds nobody.
+    n1 = Node(1, 1000.0, np.array([0.0, 200.0]), np.array([5.0, 1e9]))
+    sim, _, srv, col = build([n1], config=cfg)
+    srv.submit_bot(bot_of(1, nops=10_000.0))
+    sim.run()
+    assert col.bot_done_at == pytest.approx(205.0)
+    assert srv.stats.timeouts == 1
+
+
+def test_reissue_after_timeout_goes_to_fresh_node():
+    cfg = BoincConfig(target_nresults=2, min_quorum=2, delay_bound=50.0)
+    n1 = stable(1)
+    n2 = Node(2, 1000.0, np.array([0.0]), np.array([0.5]))  # dies fast
+    n3 = Node(3, 1000.0, np.array([100.0]), np.array([1e9]))
+    sim, _, srv, col = build([n1, n2, n3], pool_seed=3)
+    srv.submit_bot(bot_of(1, nops=1000.0))
+    sim.run()
+    assert col.bot_done_at is not None
+    # the wu saw three distinct workers at most once each
+    st = srv.tasks[("b", 0)]
+    assert len(st.workers) == len(set(st.workers))
+
+
+def test_completed_wu_late_results_discarded():
+    nodes = [stable(1, power=1000.0), stable(2, power=1000.0),
+             stable(3, power=10.0)]  # third is very slow
+    sim, _, srv, col = build(nodes)
+    srv.submit_bot(bot_of(1, nops=1000.0))
+    sim.run()
+    assert col.bot_done_at == pytest.approx(1.0)
+    assert srv.stats.discarded_results == 1
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        BoincConfig(target_nresults=1, min_quorum=2)
+    with pytest.raises(ValueError):
+        BoincConfig(min_quorum=0)
+    with pytest.raises(ValueError):
+        BoincConfig(delay_bound=0)
+
+
+def test_external_complete_marks_wu_done():
+    sim, _, srv, col = build([stable(1), stable(2), stable(3)])
+    srv.submit_bot(bot_of(1, nops=1_000_000.0))  # 1000 s
+    sim.at(5.0, srv.external_complete, ("b", 0), 5.0)
+    sim.run()
+    assert col.bot_done_at == pytest.approx(5.0)
+    assert srv.stats.discarded_results == 3  # all replicas late
+
+
+def test_fetch_for_cloud_issues_extra_replica():
+    sim, _, srv, col = build([stable(1, power=10.0),
+                              stable(2, power=10.0),
+                              stable(3, power=10.0)])
+    srv.submit_bot(bot_of(1, nops=1000.0))  # 100 s on regular nodes
+    c1 = Node.stable(98, power=1000.0)
+    c2 = Node.stable(99, power=1000.0)
+
+    def fetch():
+        assert srv.fetch_for_cloud(c1) is not None
+        assert srv.fetch_for_cloud(c2) is not None
+    sim.at(10.0, fetch)
+    sim.run()
+    # both cloud replicas (1 s each) complete the quorum at ~11 s
+    assert col.bot_done_at == pytest.approx(11.0)
+    assert srv.stats.cloud_assignments == 2
+
+
+def test_fetch_for_cloud_respects_one_result_rule():
+    sim, _, srv, col = build([stable(1, power=10.0),
+                              stable(2, power=10.0),
+                              stable(3, power=10.0)])
+    srv.submit_bot(bot_of(1, nops=1000.0))
+    cloud = Node.stable(99, power=1000.0)
+    got = {}
+
+    def fetch():
+        got["first"] = srv.fetch_for_cloud(cloud)
+        got["second"] = srv.fetch_for_cloud(cloud)
+    sim.at(10.0, fetch)
+    sim.run()
+    assert got["first"] is not None
+    assert got["second"] is None  # same worker, same wu: forbidden
+
+
+def test_stats_counters_consistent():
+    sim, _, srv, col = build([stable(i) for i in range(6)])
+    srv.submit_bot(bot_of(4, nops=1000.0))
+    sim.run()
+    assert srv.stats.completions == 4
+    # every wu issued exactly target replicas (no failures here)
+    assert srv.stats.assignments == 12
+    assert srv.stats.discarded_results == 4  # 3rd result of each wu

@@ -1,0 +1,219 @@
+"""Cloud substrate: drivers, instances, worker agents, coordinators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cloud.api import CloudError, ComputeDriver, ProviderProfile, QuotaExceeded
+from repro.cloud.registry import PROVIDER_NAMES, get_driver, list_providers
+from repro.cloud.worker import CloudDuplicationCoordinator, RescheduleAgent
+from repro.infra.node import Node
+from repro.infra.pool import NodePool
+from repro.middleware.xwhep import XWHepServer
+from repro.simulator.engine import Simulation
+from repro.workload.bot import BagOfTasks, Task
+
+
+def bot_of(n, nops=1000.0, bot_id="b"):
+    return BagOfTasks(bot_id=bot_id,
+                      tasks=[Task(i, nops) for i in range(n)],
+                      wall_clock=nops / 1000.0)
+
+
+# ----------------------------------------------------------------- drivers
+def test_registry_has_paper_providers():
+    for name in ("ec2", "eucalyptus", "rackspace", "opennebula",
+                 "stratuslab", "nimbus", "grid5000", "simulation"):
+        assert name in PROVIDER_NAMES
+
+
+def test_registry_unknown_provider():
+    with pytest.raises(KeyError):
+        get_driver("azure", Simulation())
+
+
+def test_list_providers_profiles():
+    profiles = {p.name: p for p in list_providers()}
+    assert profiles["simulation"].boot_delay == 0.0
+    assert profiles["ec2"].boot_delay > 0.0
+    assert profiles["grid5000"].power_std == 0.0
+
+
+def test_create_node_boot_delay_and_power():
+    sim = Simulation()
+    drv = get_driver("ec2", sim, rng=np.random.default_rng(0))
+    sim.at(100.0, lambda: None)
+    sim.run()
+    inst = drv.create_node(tag="t")
+    assert inst.created_at == 100.0
+    assert inst.boot_end == pytest.approx(100.0 + 120.0)
+    assert inst.node.cloud
+    assert inst.node.interval_at(inst.boot_end) is not None
+    assert inst.node.power > 50
+
+
+def test_instance_ids_unique_across_drivers():
+    sim = Simulation()
+    a = get_driver("ec2", sim).create_node()
+    b = get_driver("nimbus", sim).create_node()
+    assert a.instance_id != b.instance_id
+
+
+def test_destroy_node_and_cpu_accounting():
+    sim = Simulation()
+    drv = get_driver("simulation", sim)
+    inst = drv.create_node()
+    sim.at(7200.0, lambda: drv.destroy_node(inst))
+    sim.run()
+    assert not inst.alive
+    assert inst.cpu_seconds(1e9) == pytest.approx(7200.0)
+    assert drv.total_cpu_hours() == pytest.approx(2.0)
+
+
+def test_destroy_unknown_instance():
+    sim = Simulation()
+    drv = get_driver("simulation", sim)
+    other = get_driver("simulation", sim).create_node()
+    with pytest.raises(CloudError):
+        drv.destroy_node(other)
+
+
+def test_quota_enforced():
+    sim = Simulation()
+    profile = ProviderProfile("tiny", boot_delay=0.0, max_instances=2)
+    drv = ComputeDriver(profile, sim)
+    drv.create_node()
+    drv.create_node()
+    with pytest.raises(QuotaExceeded):
+        drv.create_node()
+
+
+def test_quota_frees_on_destroy():
+    sim = Simulation()
+    profile = ProviderProfile("tiny", boot_delay=0.0, max_instances=1)
+    drv = ComputeDriver(profile, sim)
+    inst = drv.create_node()
+    drv.destroy_node(inst)
+    drv.create_node()  # no raise
+    assert drv.running_count() == 1
+    assert len(drv.list_nodes(alive_only=False)) == 2
+
+
+# ---------------------------------------------------------------- agents
+def build_server(nodes, pool_seed=0):
+    sim = Simulation(horizon=1e7)
+    pool = NodePool(nodes, rng=np.random.default_rng(pool_seed))
+    srv = XWHepServer(sim, pool)
+    return sim, srv
+
+
+def test_reschedule_agent_drains_pending_queue():
+    # one very slow regular node, agent handles the rest
+    slow = Node(1, 1.0, np.array([0.0]), np.array([1e9]))
+    sim, srv = build_server([slow])
+    srv.submit_bot(bot_of(5, nops=1000.0))
+    cloud = Node.stable(99, power=1000.0)
+    agent = RescheduleAgent(sim, srv, cloud)
+    agent.start()
+    done = {}
+    class Obs:
+        def on_bot_completed(self, bid, t):
+            done["t"] = t
+    srv.add_observer(Obs())
+    sim.run(until=5e6)
+    assert "t" in done
+    assert agent.units_fetched >= 4
+
+
+def test_reschedule_agent_starvation_callback():
+    sim, srv = build_server([Node(1, 1000.0, np.array([0.0]),
+                                  np.array([1e9]))])
+    srv.submit_bot(bot_of(1, nops=1000.0))
+    starved = []
+    cloud = Node.stable(99, power=1000.0)
+    agent = RescheduleAgent(sim, srv, cloud,
+                            on_starved=lambda a: starved.append(a))
+    sim.at(100.0, agent.start)  # after the BoT completed
+    sim.run()
+    assert starved == [agent]
+
+
+def test_reschedule_agent_stop_detaches():
+    sim, srv = build_server([Node(1, 1.0, np.array([0.0]),
+                                  np.array([1e9]))])
+    srv.submit_bot(bot_of(3, nops=1000.0))
+    cloud = Node.stable(99, power=1000.0)
+    agent = RescheduleAgent(sim, srv, cloud)
+    agent.start()
+    sim.at(1.5, agent.stop)
+    sim.run(until=10.0)
+    fetched_at_stop = agent.units_fetched
+    sim.run(until=1000.0)
+    assert agent.units_fetched == fetched_at_stop
+
+
+def test_coordinator_sync_orders_pending_before_running():
+    slow = Node(1, 1.0, np.array([0.0]), np.array([1e9]))
+    sim, srv = build_server([slow])
+    srv.submit_bot(bot_of(3, nops=1000.0))
+    coord = CloudDuplicationCoordinator(sim, srv, "b")
+    def sync():
+        fresh = coord.sync()
+        assert fresh == 3
+        head = coord.queue[0]
+        # the never-assigned tasks come first
+        assert srv.tasks[head].first_assign_time is None
+    sim.at(1.0, sync)
+    sim.run(until=2.0)
+
+
+def test_coordinator_completes_tasks_and_merges():
+    slow = Node(1, 1.0, np.array([0.0]), np.array([1e9]))
+    sim, srv = build_server([slow])
+    srv.submit_bot(bot_of(4, nops=1000.0))
+    coord = CloudDuplicationCoordinator(sim, srv, "b")
+    cloud = Node.stable(99, power=1000.0)
+    done = {}
+    class Obs:
+        def on_bot_completed(self, bid, t):
+            done["t"] = t
+    srv.add_observer(Obs())
+    def go():
+        coord.sync()
+        coord.add_worker(cloud)
+    sim.at(1.0, go)
+    sim.run(until=1e6)
+    assert done["t"] < 10.0
+    assert coord.completions >= 3
+    assert coord.busy_seconds(cloud) > 0
+
+
+def test_coordinator_skips_tasks_completed_on_dci():
+    fast = Node(1, 1000.0, np.array([0.0]), np.array([1e9]))
+    sim, srv = build_server([fast])
+    srv.submit_bot(bot_of(2, nops=1000.0))
+    coord = CloudDuplicationCoordinator(sim, srv, "b")
+    starved = []
+    coord._on_starved = lambda c, n: starved.append(n)
+    cloud = Node.stable(99, power=1000.0)
+    def go():
+        coord.sync()
+        coord.add_worker(cloud)
+    sim.at(50.0, go)  # both tasks already done on the DCI by then
+    sim.run()
+    assert coord.completions == 0
+    assert starved  # nothing useful to execute
+
+
+def test_coordinator_double_sync_no_duplicates():
+    slow = Node(1, 1.0, np.array([0.0]), np.array([1e9]))
+    sim, srv = build_server([slow])
+    srv.submit_bot(bot_of(3, nops=1000.0))
+    coord = CloudDuplicationCoordinator(sim, srv, "b")
+    def syncs():
+        coord.sync()
+        assert coord.sync() == 0
+        assert coord.backlog() == 3
+    sim.at(1.0, syncs)
+    sim.run(until=2.0)

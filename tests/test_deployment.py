@@ -1,0 +1,93 @@
+"""EDGI deployment scenario and the 3G-Bridge (§5, Table 5)."""
+
+import numpy as np
+import pytest
+
+from repro.deployment.bridge import ThreeGBridge
+from repro.deployment.edgi import EDGIDeployment
+from repro.infra.node import Node
+from repro.infra.pool import NodePool
+from repro.middleware.xwhep import XWHepServer
+from repro.simulator.engine import Simulation
+from repro.workload.bot import BagOfTasks, Task
+
+
+def bot_of(n, bot_id="b"):
+    return BagOfTasks(bot_id=bot_id,
+                      tasks=[Task(i, 1000.0) for i in range(n)],
+                      wall_clock=1.0)
+
+
+def make_server():
+    sim = Simulation(horizon=1e6)
+    nodes = [Node(i, 1000.0, np.array([0.0]), np.array([1e9]))
+             for i in range(4)]
+    pool = NodePool(nodes, rng=np.random.default_rng(0))
+    return sim, XWHepServer(sim, pool)
+
+
+# ------------------------------------------------------------------ bridge
+def test_bridge_forwards_and_accounts():
+    sim, srv = make_server()
+    bridge = ThreeGBridge(srv)
+    bridge.submit(bot_of(4, "egi-1"), "EGI", at=0.0)
+    sim.run()
+    assert bridge.completed_for("EGI") == 4
+    assert srv.bot_completed("egi-1")
+
+
+def test_bridge_separates_sources():
+    sim, srv = make_server()
+    bridge = ThreeGBridge(srv)
+    bridge.submit(bot_of(2, "a"), "EGI", at=0.0)
+    bridge.submit(bot_of(3, "b"), "Unicore", at=0.0)
+    sim.run()
+    assert bridge.completed_for("EGI") == 2
+    assert bridge.completed_for("Unicore") == 3
+    assert bridge.sources() == ["EGI", "Unicore"]
+
+
+def test_bridge_ignores_native_submissions():
+    sim, srv = make_server()
+    bridge = ThreeGBridge(srv)
+    srv.submit_bot(bot_of(3, "native"), at=0.0)
+    sim.run()
+    assert bridge.completed_for("EGI") == 0
+
+
+def test_bridge_rejects_duplicate():
+    sim, srv = make_server()
+    bridge = ThreeGBridge(srv)
+    bot = bot_of(2, "dup")
+    bridge.submit(bot, "EGI", at=0.0)
+    with pytest.raises(ValueError):
+        bridge.submit(bot, "EGI", at=0.0)
+
+
+# -------------------------------------------------------------- deployment
+def test_edgi_accounting_shape():
+    dep = EDGIDeployment(seed=5, horizon_days=3.0)
+    summary = dep.run(duration_days=1.5, n_bots=8, bot_size=120)
+    assert set(summary) == {"XW@LAL", "XW@LRI", "EGI", "StratusLab", "EC2"}
+    # the DGs carry the bulk of the work
+    assert summary["XW@LAL"] > 0
+    assert summary["XW@LRI"] > 0
+    dg_total = summary["XW@LAL"] + summary["XW@LRI"]
+    cloud_total = summary["StratusLab"] + summary["EC2"]
+    assert dg_total > 4 * cloud_total
+    # bridged EGI tasks are a subset of XW@LAL's completions
+    assert 0 < summary["EGI"] <= summary["XW@LAL"]
+
+
+def test_edgi_deterministic_per_seed():
+    a = EDGIDeployment(seed=9, horizon_days=2.0).run(
+        duration_days=1.0, n_bots=6, bot_size=80)
+    b = EDGIDeployment(seed=9, horizon_days=2.0).run(
+        duration_days=1.0, n_bots=6, bot_size=80)
+    assert a == b
+
+
+def test_edgi_qos_consumes_cloud_somewhere():
+    dep = EDGIDeployment(seed=5, horizon_days=3.0)
+    summary = dep.run(duration_days=1.5, n_bots=10, bot_size=150)
+    assert summary["StratusLab"] + summary["EC2"] > 0

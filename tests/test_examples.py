@@ -1,0 +1,45 @@
+"""The example scripts stay runnable (deliverable guard).
+
+The fast examples run end-to-end as subprocesses; the campaign-sized
+ones are compile-checked and their mains imported (running them is the
+benchmarks' job).
+"""
+
+import os
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "examples")
+
+ALL_EXAMPLES = ["quickstart.py", "spot_market.py", "custom_trace.py",
+                "edgi_deployment.py", "strategy_comparison.py",
+                "prediction_service.py"]
+
+FAST_EXAMPLES = ["custom_trace.py", "edgi_deployment.py"]
+
+
+@pytest.mark.parametrize("name", ALL_EXAMPLES)
+def test_example_compiles(name):
+    py_compile.compile(os.path.join(EXAMPLES_DIR, name), doraise=True)
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_fast_example_runs(name):
+    proc = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name)],
+        capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip()
+
+
+def test_quickstart_output_is_sane():
+    proc = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, "quickstart.py")],
+        capture_output=True, text=True, timeout=600)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert "speedup" in proc.stdout
+    assert "tail removal" in proc.stdout

@@ -1,0 +1,111 @@
+"""End-to-end integration: the paper's headline claims at small scale.
+
+These are the load-bearing acceptance tests of the reproduction: the
+tail effect exists on volatile BE-DCIs, SpeQuloS removes most of it
+while offloading only a small workload fraction to the cloud, and the
+whole pipeline is deterministic.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import tail_removal_efficiency
+from repro.experiments.config import ExecutionConfig
+from repro.experiments.runner import run_campaign, run_execution
+
+
+def cfg(trace, mw, seed, size=150, **kw):
+    return ExecutionConfig(trace=trace, middleware=mw, category="SMALL",
+                           seed=seed, bot_size=size, **kw)
+
+
+@pytest.fixture(scope="module")
+def volatile_pairs():
+    """Paired (baseline, 9C-C-R) runs on two volatile environments."""
+    bases, speqs = [], []
+    for trace, mw in (("seti", "boinc"), ("nd", "xwhep")):
+        for seed in (21, 22):
+            base = cfg(trace, mw, seed)
+            bases.append(run_execution(base))
+            speqs.append(run_execution(base.with_strategy("9C-C-R")))
+    return bases, speqs
+
+
+def test_tail_effect_exists_on_volatile_traces(volatile_pairs):
+    bases, _ = volatile_pairs
+    slowdowns = [b.slowdown for b in bases]
+    # the paper's Figure 2: volatile DCIs show substantial tails
+    assert max(slowdowns) > 1.3
+
+
+def test_boinc_tail_is_longer_than_xwhep(volatile_pairs):
+    bases, _ = volatile_pairs
+    boinc = [b.slowdown for b in bases if b.config.middleware == "boinc"]
+    xwhep = [b.slowdown for b in bases if b.config.middleware == "xwhep"]
+    assert np.mean(boinc) > np.mean(xwhep)
+
+
+def test_spequlos_reduces_completion_time(volatile_pairs):
+    bases, speqs = volatile_pairs
+    for b, s in zip(bases, speqs):
+        assert s.makespan <= b.makespan * 1.02
+    # and at least one big win (paper: speedups beyond 2x)
+    speedups = [b.makespan / s.makespan for b, s in zip(bases, speqs)]
+    assert max(speedups) > 1.5
+
+
+def test_tre_mostly_high_for_headline_combo(volatile_pairs):
+    bases, speqs = volatile_pairs
+    tres = []
+    for b, s in zip(bases, speqs):
+        if b.makespan - b.ideal_time > 120.0:
+            tres.append(tail_removal_efficiency(
+                b.makespan, s.makespan, b.ideal_time))
+    assert tres, "volatile baselines must show a tail"
+    assert np.mean(tres) > 50.0
+
+
+def test_cloud_offload_is_small_fraction_of_workload(volatile_pairs):
+    _, speqs = volatile_pairs
+    for s in speqs:
+        # credits model 10% of the workload; the paper's claim is that
+        # under ~25% of that is actually consumed (~2.5% of workload).
+        assert s.credits_used_pct <= 60.0
+
+
+def test_stable_trace_needs_little_cloud():
+    base = cfg("spot10", "xwhep", 31)
+    b = run_execution(base)
+    s = run_execution(base.with_strategy("9C-C-R"))
+    assert b.slowdown < 2.0  # spot ladders are comparatively stable
+    assert s.credits_used_pct <= 50.0
+
+
+def test_deterministic_pipeline_end_to_end():
+    base = cfg("g5klyo", "xwhep", 17)
+    r1 = run_execution(base.with_strategy("9A-G-D"))
+    r2 = run_execution(base.with_strategy("9A-G-D"))
+    assert r1.makespan == r2.makespan
+    assert r1.credits_spent == pytest.approx(r2.credits_spent)
+    assert r1.events == r2.events
+
+
+def test_all_18_combos_complete_on_one_env():
+    from repro.core.strategies import ALL_COMBOS
+    base = cfg("nd", "xwhep", 41, size=80)
+    baseline = run_execution(base)
+    results = run_campaign(
+        [base.with_strategy(c.name) for c in ALL_COMBOS], n_jobs=1)
+    for res in results:
+        assert not res.censored
+        assert res.makespan <= baseline.makespan * 1.05
+        assert res.credits_spent <= res.credits_provisioned + 1e-6
+
+
+def test_random_bot_with_arrivals_end_to_end():
+    base = ExecutionConfig(trace="g5kgre", middleware="boinc",
+                           category="RANDOM", seed=51, bot_size=120)
+    b = run_execution(base)
+    s = run_execution(base.with_strategy("9C-C-R"))
+    assert not b.censored and not s.censored
+    assert s.makespan <= b.makespan * 1.02

@@ -1,0 +1,221 @@
+"""Tail metrics: ideal time, slowdown, fractions, TRE, stability."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.cdf import ccdf, ccdf_at, ecdf, histogram_fractions
+from repro.analysis.metrics import (
+    CompletionProfile,
+    ideal_completion_time,
+    normalized_times,
+    tail_fraction_of_tasks,
+    tail_fraction_of_time,
+    tail_removal_efficiency,
+    tail_slowdown,
+)
+
+
+def linear_profile(n=100, rate=1.0):
+    """k-th completion at k/rate: perfectly steady, no tail."""
+    return CompletionProfile.from_times([(i + 1) / rate for i in range(n)])
+
+
+def tailed_profile(n=100, tail_len=10, tail_gap=50.0):
+    """Steady except the last tail_len tasks, delayed by tail_gap each."""
+    times = [(i + 1.0) for i in range(n - tail_len)]
+    last = times[-1]
+    times += [last + (j + 1) * tail_gap for j in range(tail_len)]
+    return CompletionProfile.from_times(times)
+
+
+# ------------------------------------------------------------------ basics
+def test_tc_indexing_matches_definition():
+    p = linear_profile(100)
+    assert p.tc(0.01) == pytest.approx(1.0)
+    assert p.tc(0.5) == pytest.approx(50.0)
+    assert p.tc(1.0) == pytest.approx(100.0)
+
+
+def test_tc_rounds_fraction_up():
+    p = linear_profile(10)
+    assert p.tc(0.11) == pytest.approx(2.0)  # ceil(1.1) = 2
+
+
+def test_tc_validation():
+    p = linear_profile(10)
+    with pytest.raises(ValueError):
+        p.tc(0.0)
+    with pytest.raises(ValueError):
+        p.tc(1.5)
+
+
+def test_profile_requires_tasks():
+    with pytest.raises(ValueError):
+        CompletionProfile.from_times([])
+
+
+def test_profile_sorts_input():
+    p = CompletionProfile.from_times([3.0, 1.0, 2.0])
+    assert list(p.times) == [1.0, 2.0, 3.0]
+
+
+def test_completed_at():
+    p = linear_profile(10)
+    assert p.completed_at(0.5) == 0
+    assert p.completed_at(5.0) == 5
+    assert p.completed_at(100.0) == 10
+
+
+# -------------------------------------------------------------- ideal time
+def test_ideal_time_of_steady_profile_equals_makespan():
+    p = linear_profile(100)
+    assert ideal_completion_time(p) == pytest.approx(100.0)
+
+
+def test_ideal_time_ignores_tail():
+    p = tailed_profile(100, tail_len=10, tail_gap=50.0)
+    # tc(0.9) = 90th completion at t=90 -> ideal = 100
+    assert ideal_completion_time(p) == pytest.approx(100.0)
+
+
+def test_slowdown_steady_is_one():
+    assert tail_slowdown(linear_profile()) == pytest.approx(1.0)
+
+
+def test_slowdown_reflects_tail():
+    p = tailed_profile(100, tail_len=10, tail_gap=50.0)
+    # makespan = 90 + 500 = 590; ideal = 100
+    assert tail_slowdown(p) == pytest.approx(5.9)
+
+
+def test_slowdown_clamped_at_one():
+    # decelerating start then sprint: actual < extrapolated ideal
+    times = [10.0, 20.0, 30.0, 40.0, 41.0, 42.0, 43.0, 44.0, 45.0, 46.0]
+    p = CompletionProfile.from_times(times)
+    assert tail_slowdown(p) >= 1.0
+
+
+# ---------------------------------------------------------- tail fractions
+def test_tail_fraction_of_tasks():
+    p = tailed_profile(100, tail_len=10, tail_gap=50.0)
+    assert tail_fraction_of_tasks(p) == pytest.approx(0.10)
+
+
+def test_tail_fraction_of_time():
+    p = tailed_profile(100, tail_len=10, tail_gap=50.0)
+    # (590 - 100) / 590
+    assert tail_fraction_of_time(p) == pytest.approx(490.0 / 590.0)
+
+
+def test_no_tail_zero_fractions():
+    p = linear_profile()
+    assert tail_fraction_of_tasks(p) == pytest.approx(0.0)
+    assert tail_fraction_of_time(p) == pytest.approx(0.0)
+
+
+# --------------------------------------------------------------------- TRE
+def test_tre_complete_removal():
+    assert tail_removal_efficiency(600.0, 100.0, 100.0) == 100.0
+
+
+def test_tre_half_removal():
+    assert tail_removal_efficiency(600.0, 350.0, 100.0) == pytest.approx(50.0)
+
+
+def test_tre_no_improvement():
+    assert tail_removal_efficiency(600.0, 600.0, 100.0) == 0.0
+
+
+def test_tre_clamps_regressions_to_zero():
+    assert tail_removal_efficiency(600.0, 700.0, 100.0) == 0.0
+
+
+def test_tre_clamps_super_ideal_to_hundred():
+    assert tail_removal_efficiency(600.0, 50.0, 100.0) == 100.0
+
+
+def test_tre_undefined_without_tail():
+    with pytest.raises(ValueError):
+        tail_removal_efficiency(100.0, 90.0, 100.0)
+
+
+# --------------------------------------------------------------- stability
+def test_normalized_times_mean_one():
+    vals = normalized_times([100.0, 200.0, 300.0])
+    assert np.mean(vals) == pytest.approx(1.0)
+
+
+def test_normalized_times_empty():
+    assert normalized_times([]).size == 0
+
+
+def test_normalized_times_rejects_nonpositive_mean():
+    with pytest.raises(ValueError):
+        normalized_times([0.0, 0.0])
+
+
+# --------------------------------------------------------------------- cdf
+def test_ecdf_monotone():
+    x, y = ecdf([3.0, 1.0, 2.0])
+    assert list(x) == [1.0, 2.0, 3.0]
+    assert list(y) == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+
+def test_ccdf_complement():
+    x, y = ccdf([1.0, 2.0, 3.0, 4.0])
+    assert y[0] == pytest.approx(0.75)
+    assert y[-1] == pytest.approx(0.0)
+
+
+def test_ccdf_at_thresholds_inclusive():
+    frac = ccdf_at([0.0, 50.0, 100.0, 100.0], [0, 50, 100])
+    assert list(frac) == pytest.approx([1.0, 0.75, 0.5])
+
+
+def test_ccdf_at_empty():
+    assert list(ccdf_at([], [0, 1])) == [0.0, 0.0]
+
+
+def test_histogram_fractions_sum_to_one():
+    rngv = np.random.default_rng(0).normal(1.0, 0.3, 500)
+    centers, frac = histogram_fractions(rngv, 0.0, 5.0, 20)
+    assert frac.sum() == pytest.approx(1.0)
+    assert centers.shape == (20,)
+
+
+def test_histogram_fractions_clips_outliers_into_edge_bins():
+    _, frac = histogram_fractions([-5.0, 10.0], 0.0, 5.0, 5)
+    assert frac[0] == pytest.approx(0.5)
+    assert frac[-1] == pytest.approx(0.5)
+
+
+def test_histogram_validation():
+    with pytest.raises(ValueError):
+        histogram_fractions([1.0], 1.0, 0.0, 5)
+
+
+# ------------------------------------------------------------- properties
+@settings(max_examples=40, deadline=None)
+@given(times=st.lists(st.floats(0.1, 1e6), min_size=10, max_size=200))
+def test_property_slowdown_at_least_one(times):
+    p = CompletionProfile.from_times(times)
+    assert tail_slowdown(p) >= 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(times=st.lists(st.floats(0.1, 1e6), min_size=10, max_size=200))
+def test_property_tail_fractions_bounded(times):
+    p = CompletionProfile.from_times(times)
+    assert 0.0 <= tail_fraction_of_tasks(p) <= 1.0
+    assert 0.0 <= tail_fraction_of_time(p) <= 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(nospeq=st.floats(200.0, 1e6), speq_frac=st.floats(0.0, 2.0),
+       ideal=st.floats(1.0, 100.0))
+def test_property_tre_in_range(nospeq, speq_frac, ideal):
+    speq = ideal + (nospeq - ideal) * speq_frac
+    tre = tail_removal_efficiency(nospeq, speq, ideal)
+    assert 0.0 <= tre <= 100.0

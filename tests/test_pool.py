@@ -1,0 +1,167 @@
+"""NodePool: lazy acquire/release semantics and poll weighting."""
+
+import numpy as np
+import pytest
+
+from repro.infra.node import Node
+from repro.infra.pool import NodePool
+
+
+def volatile(nid, starts, ends, power=1000.0):
+    return Node(nid, power, np.asarray(starts, float),
+                np.asarray(ends, float))
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+def test_acquire_returns_available_node():
+    pool = NodePool([volatile(1, [0], [100])], rng=rng())
+    got = pool.acquire(10.0)
+    assert got is not None
+    node, end = got
+    assert node.node_id == 1
+    assert end == 100.0
+
+
+def test_acquire_empty_pool_returns_none():
+    pool = NodePool(rng=rng())
+    assert pool.acquire(0.0) is None
+
+
+def test_acquired_node_not_served_twice():
+    pool = NodePool([volatile(1, [0], [100])], rng=rng())
+    assert pool.acquire(0.0) is not None
+    assert pool.acquire(0.0) is None
+
+
+def test_release_returns_node_to_service():
+    n = volatile(1, [0], [100])
+    pool = NodePool([n], rng=rng())
+    pool.acquire(0.0)
+    pool.release(n, 10.0)
+    assert pool.acquire(10.0) is not None
+
+
+def test_future_node_not_served_early_then_promoted():
+    pool = NodePool([volatile(1, [50], [100])], rng=rng())
+    assert pool.acquire(0.0) is None
+    assert pool.acquire(60.0) is not None
+
+
+def test_stale_idle_node_recycled_to_next_interval():
+    pool = NodePool([volatile(1, [0, 200], [100, 300])], rng=rng())
+    # sits idle past its first interval
+    got = pool.acquire(150.0)
+    assert got is None  # now between intervals
+    got = pool.acquire(250.0)
+    assert got is not None
+    assert got[1] == 300.0
+
+
+def test_preempted_node_comes_back_next_interval():
+    n = volatile(1, [0, 200], [100, 300])
+    pool = NodePool([n], rng=rng())
+    pool.acquire(0.0)
+    pool.preempted(n, 100.0)
+    assert pool.acquire(150.0) is None
+    assert pool.acquire(210.0) is not None
+
+
+def test_node_that_never_returns_is_dropped():
+    n = volatile(1, [0], [100])
+    pool = NodePool([n], rng=rng())
+    pool.acquire(0.0)
+    pool.preempted(n, 100.0)
+    assert pool.size == 0
+    assert pool.acquire(200.0) is None
+
+
+def test_remove_prevents_future_acquire():
+    n = volatile(1, [0], [100])
+    pool = NodePool([n], rng=rng())
+    pool.remove(n)
+    assert pool.acquire(0.0) is None
+    assert n not in pool
+
+
+def test_remove_while_busy_blocks_release():
+    n = volatile(1, [0], [100])
+    pool = NodePool([n], rng=rng())
+    pool.acquire(0.0)
+    pool.remove(n)
+    pool.release(n, 10.0)  # no-op: retired
+    assert pool.acquire(10.0) is None
+
+
+def test_duplicate_add_rejected():
+    n = volatile(1, [0], [100])
+    pool = NodePool([n], rng=rng())
+    with pytest.raises(ValueError):
+        pool.add(n, 0.0)
+
+
+def test_next_future_start():
+    pool = NodePool([volatile(1, [50], [100]),
+                     volatile(2, [80], [120])], rng=rng())
+    assert pool.next_future_start(0.0) == 50.0
+
+
+def test_next_future_start_with_ready_node_returns_now():
+    pool = NodePool([volatile(1, [0], [100])], rng=rng())
+    assert pool.next_future_start(10.0) == 10.0
+
+
+def test_next_future_start_exhausted_returns_none():
+    n = volatile(1, [0], [10])
+    pool = NodePool([n], rng=rng())
+    pool.acquire(0.0)
+    pool.preempted(n, 10.0)
+    assert pool.next_future_start(20.0) is None
+
+
+def test_idle_count():
+    pool = NodePool([volatile(1, [0], [100]),
+                     volatile(2, [0], [100]),
+                     volatile(3, [500], [600])], rng=rng())
+    assert pool.idle_count(10.0) == 2
+
+
+def test_all_nodes_eventually_served():
+    nodes = [volatile(i, [0], [1000]) for i in range(10)]
+    pool = NodePool(nodes, rng=rng())
+    seen = set()
+    for _ in range(10):
+        node, _ = pool.acquire(0.0)
+        seen.add(node.node_id)
+    assert seen == set(range(10))
+
+
+def test_cloud_poll_weight_biases_selection():
+    """With weight w, one idle cloud worker should win roughly
+    w/(w+1) of the draws against one idle regular node."""
+    wins = 0
+    trials = 400
+    for seed in range(trials):
+        reg = volatile(1, [0], [1e9])
+        cloud = Node.stable(2, 3000.0)
+        pool = NodePool([reg, cloud], rng=rng(seed), cloud_poll_weight=10.0)
+        node, _ = pool.acquire(0.0)
+        if node.cloud:
+            wins += 1
+    assert 0.82 < wins / trials < 0.98  # expectation ~0.909
+
+
+def test_cloud_weight_validation():
+    with pytest.raises(ValueError):
+        NodePool(cloud_poll_weight=0.0)
+
+
+def test_selection_is_seed_deterministic():
+    def draw(seed):
+        nodes = [volatile(i, [0], [1000]) for i in range(20)]
+        pool = NodePool(nodes, rng=rng(seed))
+        return [pool.acquire(0.0)[0].node_id for _ in range(20)]
+    assert draw(5) == draw(5)
+    assert draw(5) != draw(6)

@@ -1,0 +1,111 @@
+"""Report rendering and light figure builders (smoke + content)."""
+
+import os
+
+import pytest
+
+from repro.experiments.config import CampaignScale
+from repro.experiments.report import ExperimentReport, Series, TextTable
+from repro.experiments import figures
+
+
+# ------------------------------------------------------------------ report
+def test_text_table_render_alignment():
+    t = TextTable("Title", ["col_a", "b"])
+    t.add_row("x", 123)
+    t.add_row("longer", 4.5)
+    out = t.render()
+    lines = out.splitlines()
+    assert lines[0] == "Title"
+    assert "col_a" in lines[2]
+    assert out.count("\n") >= 5
+
+
+def test_text_table_note():
+    t = TextTable("T", ["a"], note="remember this")
+    t.add_row("1")
+    assert "note: remember this" in t.render()
+
+
+def test_series_render():
+    s = Series("curve", [1.0, 2.0], [0.5, 1.0])
+    out = s.render()
+    assert out.startswith("curve:")
+    assert "(1," in out and "(2," in out
+
+
+def test_report_render_and_save(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    rep = ExperimentReport("Test X", "a title")
+    table = TextTable("T", ["a"])
+    table.add_row("v")
+    rep.tables.append(table)
+    rep.series.append(Series("s", [1], [2]))
+    rep.notes.append("hello")
+    path = rep.save()
+    assert os.path.dirname(path) == str(tmp_path)
+    content = open(path).read()
+    assert "### Test X: a title" in content
+    assert "note: hello" in content
+
+
+# --------------------------------------------------------- light builders
+TINY = CampaignScale(name="tiny", size_factor=0.06, seeds_per_env=1,
+                     seeds_strategy_grid=1)
+
+
+def test_figure1_report_contents():
+    rep = figures.figure1_report(TINY)
+    assert rep.experiment_id == "Figure 1"
+    assert rep.series, "needs the completion-ratio curve"
+    xs = rep.series[0].x
+    assert list(xs) == sorted(xs)
+    body = rep.render()
+    assert "tail slowdown" in body
+
+
+def test_table3_report_contents():
+    rep = figures.table3_report(n_draws=5)
+    body = rep.render()
+    for name in ("SMALL", "BIG", "RANDOM"):
+        assert name in body
+    assert "weib(91.98,0.57)" in body
+
+
+def test_table2_report_small_horizon():
+    rep = figures.table2_report(horizon_days=0.5, step=600.0)
+    body = rep.render()
+    for trace in ("seti", "nd", "g5klyo", "g5kgre", "spot10", "spot100"):
+        assert trace in body
+    assert "measured" in body
+
+
+def test_table5_report_contents():
+    rep = figures.table5_report(duration_days=1.0, n_bots=6)
+    body = rep.render()
+    for comp in ("XW@LAL", "XW@LRI", "EGI", "StratusLab", "EC2"):
+        assert comp in body
+
+
+def test_material_tail_filter():
+    from repro.experiments.figures import has_material_tail
+    from repro.experiments.runner import ExecutionResult
+    from repro.experiments.config import ExecutionConfig
+    import numpy as np
+
+    def fake(makespan, ideal):
+        return ExecutionResult(
+            config=ExecutionConfig(trace="nd", middleware="xwhep",
+                                   category="SMALL", seed=1),
+            makespan=makespan, censored=False, n_tasks=10,
+            completion_times=np.array([makespan]),
+            tc_grid=np.full(100, np.nan), ideal_time=ideal,
+            slowdown=makespan / ideal, pct_tasks_in_tail=0.0,
+            pct_time_in_tail=0.0, credits_provisioned=0.0,
+            credits_spent=0.0, workers_launched=0, cloud_cpu_hours=0.0,
+            cloud_completions=0, events=0, wall_seconds=0.0)
+
+    assert has_material_tail(fake(2000.0, 1000.0))
+    assert not has_material_tail(fake(1050.0, 1000.0))   # 5% < 10%
+    assert not has_material_tail(fake(1100.0, 1000.0))   # boundary
+    assert not has_material_tail(fake(100.0, 50.0))      # < MIN_TAIL

@@ -1,0 +1,155 @@
+"""Experiment runner: configs, determinism, pairing, campaigns."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import (
+    SCALES,
+    CampaignScale,
+    ExecutionConfig,
+    get_scale,
+)
+from repro.experiments.runner import (
+    run_campaign,
+    run_execution,
+    run_execution_with_middleware,
+)
+
+
+def quick_cfg(**kw):
+    base = dict(trace="nd", middleware="xwhep", category="SMALL",
+                seed=5, bot_size=60)
+    base.update(kw)
+    return ExecutionConfig(**base)
+
+
+# ------------------------------------------------------------------ config
+def test_config_validation():
+    with pytest.raises(ValueError):
+        quick_cfg(trace="lhc")
+    with pytest.raises(ValueError):
+        quick_cfg(middleware="condor")
+    with pytest.raises(ValueError):
+        quick_cfg(category="HUGE")
+    with pytest.raises(ValueError):
+        quick_cfg(credit_fraction=0.0)
+
+
+def test_with_strategy_pairs_configs():
+    base = quick_cfg()
+    speq = base.with_strategy("9C-C-R")
+    assert speq.seed == base.seed
+    assert speq.trace == base.trace
+    assert base.strategy is None and speq.strategy == "9C-C-R"
+
+
+def test_node_cap_scales_with_replication():
+    xw = quick_cfg(bot_size=100)
+    bo = quick_cfg(middleware="boinc", bot_size=100)
+    assert bo.node_cap() >= xw.node_cap()
+
+
+def test_node_cap_explicit_override():
+    assert quick_cfg(max_nodes=42).node_cap() == 42
+
+
+def test_node_cap_bounded_by_natural_size():
+    cfg = quick_cfg(trace="spot10", bot_size=10_000)
+    assert cfg.node_cap() <= 87
+
+
+def test_scales_registry():
+    assert get_scale("quick") is SCALES["quick"]
+    assert get_scale("full").size_factor == 1.0
+    with pytest.raises(KeyError):
+        get_scale("gigantic")
+
+
+def test_scale_bot_size():
+    quick = SCALES["quick"]
+    assert quick.bot_size("SMALL") == 250
+    assert quick.bot_size("BIG") == 2500
+    assert SCALES["full"].bot_size("SMALL") is None
+
+
+# ------------------------------------------------------------------ runner
+def test_execution_result_fields():
+    res = run_execution(quick_cfg())
+    assert res.makespan > 0
+    assert not res.censored
+    assert res.n_tasks == 60
+    assert res.completion_times.shape == (60,)
+    assert res.tc_grid.shape == (100,)
+    assert res.slowdown >= 1.0
+    assert res.ideal_time > 0
+    assert res.credits_provisioned == 0.0
+    assert res.events > 0
+    assert res.server_stats["completions"] == 60
+
+
+def test_same_seed_reproduces_exactly():
+    a = run_execution(quick_cfg())
+    b = run_execution(quick_cfg())
+    assert a.makespan == b.makespan
+    assert np.allclose(a.completion_times, b.completion_times)
+
+
+def test_different_seeds_differ():
+    a = run_execution(quick_cfg(seed=5))
+    b = run_execution(quick_cfg(seed=6))
+    assert a.makespan != b.makespan
+
+
+def test_speq_run_provisions_credits():
+    res = run_execution(quick_cfg().with_strategy("9C-C-R"))
+    # provision = 10% x 60 x 11000s / 3600 x 15 credits
+    expected = 0.10 * 60 * 11_000 / 3600 * 15
+    assert res.credits_provisioned == pytest.approx(expected, rel=1e-6)
+    assert 0.0 <= res.credits_used_pct <= 100.0
+
+
+def test_speq_never_slower_much_and_often_faster():
+    base = run_execution(quick_cfg(seed=11))
+    speq = run_execution(quick_cfg(seed=11).with_strategy("9C-C-R"))
+    assert speq.makespan <= base.makespan * 1.05
+
+
+def test_middleware_override_runner():
+    slow = run_execution_with_middleware(
+        quick_cfg(middleware="xwhep", seed=12), worker_timeout=3600.0)
+    fast = run_execution_with_middleware(
+        quick_cfg(middleware="xwhep", seed=12), worker_timeout=120.0)
+    # longer detection can only delay completion
+    assert slow.makespan >= fast.makespan - 1e-6
+
+
+def test_boinc_delay_bound_override():
+    res = run_execution_with_middleware(
+        quick_cfg(middleware="boinc", seed=13), delay_bound=3600.0)
+    assert res.makespan > 0
+
+
+def test_campaign_serial_matches_individual():
+    cfgs = [quick_cfg(seed=s) for s in (1, 2, 3)]
+    serial = run_campaign(cfgs, n_jobs=1)
+    assert [r.makespan for r in serial] == \
+        [run_execution(c).makespan for c in cfgs]
+
+
+def test_campaign_parallel_order_and_determinism():
+    cfgs = [quick_cfg(seed=s) for s in range(8)]
+    serial = run_campaign(cfgs, n_jobs=1)
+    parallel = run_campaign(cfgs, n_jobs=2)
+    assert [r.makespan for r in serial] == [r.makespan for r in parallel]
+    assert [r.config.seed for r in parallel] == list(range(8))
+
+
+def test_censoring_at_horizon():
+    # an impossible deadline: 1000-task bot, horizon of ~2 minutes
+    cfg = ExecutionConfig(trace="g5klyo", middleware="xwhep",
+                          category="SMALL", seed=3, bot_size=200,
+                          horizon_days=0.002)
+    res = run_execution(cfg)
+    assert res.censored
+    assert res.makespan == pytest.approx(cfg.horizon)
+    assert res.completion_times.shape == (200,)

@@ -1,0 +1,162 @@
+"""BoT workload model: Table 3 categories and generator properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload.bot import BagOfTasks, Task
+from repro.workload.categories import BOT_CATEGORIES, get_category
+from repro.workload.generator import make_bot
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+# -------------------------------------------------------------------- Task
+def test_task_duration_on_power():
+    t = Task(0, nops=3_600_000)
+    assert t.duration_on(1000) == pytest.approx(3600.0)
+    assert t.duration_on(3000) == pytest.approx(1200.0)
+
+
+def test_task_validation():
+    with pytest.raises(ValueError):
+        Task(0, nops=0)
+    with pytest.raises(ValueError):
+        Task(0, nops=10, arrival=-1)
+    with pytest.raises(ValueError):
+        Task(0, nops=10).duration_on(0)
+
+
+# ------------------------------------------------------------- BagOfTasks
+def test_homogeneous_bot():
+    bot = BagOfTasks.homogeneous("b", 100, 60_000, wall_clock=180)
+    assert bot.size == 100
+    assert bot.total_nops == pytest.approx(6_000_000)
+    assert bot.arrival_span() == 0.0
+
+
+def test_workload_cpu_hours_uses_wall_clock():
+    bot = BagOfTasks.homogeneous("b", 1000, 3_600_000, wall_clock=11_000)
+    # paper: size x wall_clock = 1000 x 11000 s ~ 3055.6 CPU h
+    assert bot.workload_cpu_hours == pytest.approx(3055.55, rel=1e-3)
+
+
+def test_empty_bot_rejected():
+    with pytest.raises(ValueError):
+        BagOfTasks(bot_id="b", tasks=[])
+
+
+def test_unordered_arrivals_rejected():
+    tasks = [Task(0, 10, arrival=5.0), Task(1, 10, arrival=1.0)]
+    with pytest.raises(ValueError):
+        BagOfTasks(bot_id="b", tasks=tasks)
+
+
+def test_iteration_and_len():
+    bot = BagOfTasks.homogeneous("b", 5, 10, wall_clock=1)
+    assert len(bot) == 5
+    assert [t.task_id for t in bot] == [0, 1, 2, 3, 4]
+
+
+# -------------------------------------------------------------- categories
+def test_table3_small():
+    c = get_category("SMALL")
+    assert c.size == 1000
+    assert c.nops == 3_600_000
+    assert c.arrival_weibull is None
+    assert c.wall_clock == 11_000
+
+
+def test_table3_big():
+    c = get_category("big")  # case-insensitive
+    assert c.size == 10_000
+    assert c.nops == 60_000
+    assert c.wall_clock == 180
+
+
+def test_table3_random():
+    c = get_category("RANDOM")
+    assert c.size is None
+    assert c.size_normal == (1000.0, 200.0)
+    assert c.nops_normal == (60_000.0, 10_000.0)
+    assert c.arrival_weibull == (91.98, 0.57)
+    assert c.heterogeneous
+
+
+def test_unknown_category():
+    with pytest.raises(KeyError):
+        get_category("HUGE")
+
+
+# --------------------------------------------------------------- generator
+def test_make_small_is_deterministic_shape():
+    bot = make_bot("SMALL", rng())
+    assert bot.size == 1000
+    assert all(t.nops == 3_600_000 for t in bot)
+    assert all(t.arrival == 0.0 for t in bot)
+    assert bot.category == "SMALL"
+
+
+def test_make_big():
+    bot = make_bot("BIG", rng())
+    assert bot.size == 10_000
+    assert bot.wall_clock == 180
+
+
+def test_make_random_statistics():
+    sizes, mean_nops, spans = [], [], []
+    for seed in range(30):
+        bot = make_bot("RANDOM", rng(seed))
+        sizes.append(bot.size)
+        mean_nops.append(bot.total_nops / bot.size)
+        spans.append(bot.arrival_span())
+    assert np.mean(sizes) == pytest.approx(1000, rel=0.1)
+    assert 50 < np.std(sizes) < 400
+    assert np.mean(mean_nops) == pytest.approx(60_000, rel=0.05)
+    # arrivals concentrated within the first hour or so
+    assert 100 < np.mean(spans) < 20_000
+
+
+def test_random_arrivals_sorted():
+    bot = make_bot("RANDOM", rng(3))
+    arr = [t.arrival for t in bot]
+    assert arr == sorted(arr)
+    assert arr[0] >= 0.0
+
+
+def test_size_override():
+    bot = make_bot("SMALL", rng(), size_override=50)
+    assert bot.size == 50
+    assert bot.tasks[0].nops == 3_600_000  # attributes unchanged
+
+
+def test_bot_id_passthrough():
+    bot = make_bot("BIG", rng(), bot_id="my-bot")
+    assert bot.bot_id == "my-bot"
+
+
+def test_same_seed_same_bot():
+    a = make_bot("RANDOM", rng(42))
+    b = make_bot("RANDOM", rng(42))
+    assert a.size == b.size
+    assert all(x.nops == y.nops for x, y in zip(a, b))
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_property_random_bots_always_valid(seed):
+    bot = make_bot("RANDOM", rng(seed))
+    assert bot.size >= 10
+    assert all(t.nops >= 1000 for t in bot)
+    arr = [t.arrival for t in bot]
+    assert arr == sorted(arr)
+
+
+@settings(max_examples=25, deadline=None)
+@given(size=st.integers(1, 500))
+def test_property_override_respected(size):
+    bot = make_bot("BIG", rng(0), size_override=size)
+    assert bot.size == max(10, size)

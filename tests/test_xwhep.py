@@ -1,0 +1,221 @@
+"""XtremWeb-HEP model: single execution, heartbeat detection, reissue."""
+
+import numpy as np
+import pytest
+
+from repro.infra.node import Node
+from repro.infra.pool import NodePool
+from repro.middleware.xwhep import XWHepConfig, XWHepServer
+from repro.simulator.engine import Simulation
+from repro.workload.bot import BagOfTasks, Task
+
+
+class Collector:
+    def __init__(self):
+        self.completions = []
+        self.assignments = []
+        self.bot_done_at = None
+
+    def on_task_first_assigned(self, gtid, t):
+        self.assignments.append((gtid, t))
+
+    def on_task_completed(self, gtid, t):
+        self.completions.append((gtid, t))
+
+    def on_bot_completed(self, bot_id, t):
+        self.bot_done_at = t
+
+
+def build(nodes, config=None, horizon=1e7, pool_seed=0):
+    sim = Simulation(horizon=horizon)
+    pool = NodePool(nodes, rng=np.random.default_rng(pool_seed))
+    srv = XWHepServer(sim, pool, config=config)
+    col = Collector()
+    srv.add_observer(col)
+    return sim, pool, srv, col
+
+
+def stable(nid, power=1000.0, until=1e9):
+    return Node(nid, power, np.array([0.0]), np.array([until]))
+
+
+def bot_of(n, nops=1000.0, bot_id="b"):
+    return BagOfTasks(bot_id=bot_id,
+                      tasks=[Task(i, nops) for i in range(n)],
+                      wall_clock=nops / 1000.0)
+
+
+def test_single_task_completes_at_exact_duration():
+    sim, _, srv, col = build([stable(1, power=500.0)])
+    srv.submit_bot(bot_of(1, nops=1000.0))
+    sim.run()
+    assert col.completions[0][1] == pytest.approx(2.0)
+    assert col.bot_done_at == pytest.approx(2.0)
+
+
+def test_tasks_serialize_on_one_node():
+    sim, _, srv, col = build([stable(1)])
+    srv.submit_bot(bot_of(3, nops=1000.0))
+    sim.run()
+    times = sorted(t for _, t in col.completions)
+    assert times == pytest.approx([1.0, 2.0, 3.0])
+
+
+def test_tasks_parallelize_across_nodes():
+    sim, _, srv, col = build([stable(i) for i in range(3)])
+    srv.submit_bot(bot_of(3, nops=1000.0))
+    sim.run()
+    assert max(t for _, t in col.completions) == pytest.approx(1.0)
+
+
+def test_preempted_task_lost_and_reissued_after_timeout():
+    # node 1 dies at t=5 mid-task; node 2 only becomes available later
+    n1 = Node(1, 1000.0, np.array([0.0]), np.array([5.0]))
+    n2 = Node(2, 1000.0, np.array([6.0]), np.array([1e9]))
+    sim, _, srv, col = build([n1, n2], config=XWHepConfig(worker_timeout=900))
+    srv.submit_bot(bot_of(1, nops=10_000.0))  # needs 10 s
+    sim.run()
+    # lost at 5, detected at 5+900, rerun takes 10 s on node 2
+    assert col.bot_done_at == pytest.approx(915.0)
+    assert srv.stats.preemptions == 1
+    assert srv.stats.reissues == 1
+
+
+def test_custom_worker_timeout_shifts_detection():
+    n1 = Node(1, 1000.0, np.array([0.0]), np.array([5.0]))
+    n2 = Node(2, 1000.0, np.array([6.0]), np.array([1e9]))
+    sim, _, srv, col = build([n1, n2],
+                             config=XWHepConfig(worker_timeout=100))
+    srv.submit_bot(bot_of(1, nops=10_000.0))
+    sim.run()
+    assert col.bot_done_at == pytest.approx(115.0)
+
+
+def test_no_replication_single_result_per_task():
+    sim, _, srv, col = build([stable(i) for i in range(5)])
+    srv.submit_bot(bot_of(2, nops=1000.0))
+    sim.run()
+    assert srv.stats.assignments == 2
+    assert srv.stats.completions == 2
+    assert srv.stats.discarded_results == 0
+
+
+def test_work_lost_on_preemption_restarts_from_scratch():
+    # node up [0, 9] runs 10s task, dies at 9 (90% done);
+    # returns [1000, inf) and must redo the full 10 s
+    n1 = Node(1, 1000.0, np.array([0.0, 1000.0]),
+              np.array([9.0, 1e9]))
+    sim, _, srv, col = build([n1], config=XWHepConfig(worker_timeout=900))
+    srv.submit_bot(bot_of(1, nops=10_000.0))
+    sim.run()
+    # detection at 9+900=909, node back at 1000, full rerun 10 s
+    assert col.bot_done_at == pytest.approx(1010.0)
+
+
+def test_multi_bot_isolation():
+    sim, _, srv, col = build([stable(i) for i in range(4)])
+    srv.submit_bot(bot_of(2, nops=1000.0, bot_id="b1"))
+    srv.submit_bot(bot_of(2, nops=2000.0, bot_id="b2"))
+    sim.run()
+    done = {g[0][0] for g in col.completions}
+    assert done == {"b1", "b2"}
+    assert srv.bot_completed("b1") and srv.bot_completed("b2")
+
+
+def test_arrivals_respected():
+    sim, _, srv, col = build([stable(1)])
+    tasks = [Task(0, 1000.0, arrival=0.0), Task(1, 1000.0, arrival=100.0)]
+    srv.submit_bot(BagOfTasks(bot_id="b", tasks=tasks, wall_clock=1.0))
+    sim.run()
+    times = sorted(t for _, t in col.completions)
+    assert times == pytest.approx([1.0, 101.0])
+
+
+def test_pending_waits_for_node_return():
+    n1 = Node(1, 1000.0, np.array([50.0]), np.array([1e9]))
+    sim, _, srv, col = build([n1])
+    srv.submit_bot(bot_of(1, nops=1000.0))
+    sim.run()
+    assert col.bot_done_at == pytest.approx(51.0)
+
+
+def test_external_complete_discards_regular_result():
+    sim, _, srv, col = build([stable(1)])
+    srv.submit_bot(bot_of(1, nops=100_000.0))  # 100 s
+    sim.at(10.0, srv.external_complete, ("b", 0), 10.0)
+    sim.run()
+    assert col.bot_done_at == pytest.approx(10.0)
+    assert srv.stats.discarded_results == 1  # the regular result at 100 s
+
+
+def test_fetch_for_cloud_serves_pending_first():
+    sim, _, srv, col = build([stable(1)])
+    srv.submit_bot(bot_of(3, nops=100_000.0))
+    cloud = Node.stable(99, power=1000.0)
+
+    def fetch():
+        st = srv.fetch_for_cloud(cloud)
+        assert st is not None
+        assert st.queued is False
+    sim.at(1.0, fetch)
+    sim.run()
+    assert srv.stats.cloud_assignments == 1
+    assert col.bot_done_at < 300.0
+
+
+def test_fetch_for_cloud_duplicates_running_when_no_pending():
+    sim, _, srv, col = build([stable(1, power=10.0)])  # slow: 100 s/task
+    srv.submit_bot(bot_of(1, nops=1000.0))
+    cloud = Node.stable(99, power=1000.0)
+    fetched = {}
+
+    def fetch():
+        st = srv.fetch_for_cloud(cloud)
+        fetched["unit"] = st
+    sim.at(10.0, fetch)
+    sim.run()
+    assert fetched["unit"] is not None
+    assert fetched["unit"].cloud_dups == 0  # decremented after completion
+    # cloud (1 s) beats the slow node (100 s)
+    assert col.bot_done_at == pytest.approx(11.0)
+    assert srv.stats.discarded_results == 1
+
+
+def test_fetch_for_cloud_returns_none_when_nothing_useful():
+    sim, _, srv, col = build([stable(1)])
+    srv.submit_bot(bot_of(1, nops=1000.0))
+    cloud = Node.stable(99, power=1000.0)
+    result = {}
+
+    def fetch():
+        result["unit"] = srv.fetch_for_cloud(cloud)
+    sim.at(500.0, fetch)  # long after completion
+    sim.run()
+    assert result["unit"] is None
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        XWHepConfig(worker_timeout=-1)
+    with pytest.raises(ValueError):
+        XWHepConfig(keep_alive_period=120, worker_timeout=60)
+
+
+def test_assigned_count_and_uncompleted():
+    sim, _, srv, col = build([stable(1, power=10.0)])
+    srv.submit_bot(bot_of(3, nops=1000.0))
+    sim.run(until=150.0)  # first task done (100 s), second running
+    assert srv.assigned_count("b") == 2
+    assert len(srv.uncompleted_gtids("b")) == 2
+
+
+def test_detection_skips_completed_task():
+    """A task completed by the cloud while its failure detection is
+    pending must not be reissued."""
+    n1 = Node(1, 1000.0, np.array([0.0]), np.array([5.0]))
+    sim, _, srv, col = build([n1])
+    srv.submit_bot(bot_of(1, nops=10_000.0))
+    sim.at(100.0, srv.external_complete, ("b", 0), 100.0)
+    sim.run()
+    assert srv.stats.reissues == 0
+    assert col.bot_done_at == pytest.approx(100.0)
