@@ -6,11 +6,26 @@ simulation campaigns, not microbenchmarks), prints the paper-style
 table, and writes it under ``benchmarks/results/`` for EXPERIMENTS.md.
 
 Campaign size is controlled by ``REPRO_SCALE`` (quick | full).
+
+Every bench is marked ``slow`` at collection: regenerating the paper's
+figures dominates the suite's runtime, so the fast developer lane
+(``pytest -m "not slow"``, see ROADMAP.md) skips this directory.
 """
+
+import pathlib
 
 import pytest
 
 from repro.experiments.config import get_scale
+
+_BENCH_DIR = pathlib.Path(__file__).parent
+
+
+def pytest_collection_modifyitems(items):
+    # the hook sees the whole session's items; only mark this directory
+    for item in items:
+        if _BENCH_DIR in pathlib.Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.slow)
 
 
 @pytest.fixture(scope="session")

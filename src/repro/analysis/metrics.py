@@ -13,6 +13,11 @@ Everything the paper reports derives from it:
   and the share of the makespan spent past the ideal time;
 * *Tail Removal Efficiency* (Figure 4):
   ``TRE = 1 - (t_speq - t_ideal) / (t_nospeq - t_ideal)``.
+
+Multi-tenant additions: per-tenant *fairness* measures over a vector
+of per-BoT slowdowns (or any positive per-tenant quantity) — Jain's
+fairness index and the max/min spread ratio — used by the arbitration
+policies' contention sweeps.
 """
 
 from __future__ import annotations
@@ -31,6 +36,8 @@ __all__ = [
     "tail_fraction_of_time",
     "tail_removal_efficiency",
     "normalized_times",
+    "jain_fairness_index",
+    "max_min_ratio",
 ]
 
 #: Completion fraction at which the steady completion rate is measured
@@ -135,6 +142,40 @@ def tail_removal_efficiency(t_nospeq: float, t_speq: float,
         raise ValueError("baseline execution has no tail; TRE undefined")
     tre = 1.0 - (t_speq - t_ideal) / denom
     return float(min(1.0, max(0.0, tre)) * 100.0)
+
+
+def jain_fairness_index(values: Sequence[float]) -> float:
+    """Jain's fairness index ``(sum x)^2 / (n * sum x^2)``.
+
+    1.0 when every tenant experiences the same value; ``1/n`` when one
+    tenant takes everything.  The conventional measure for allocation
+    fairness in shared systems (Jain, Chiu & Hawe, 1984).
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("fairness needs at least one value")
+    if np.any(arr < 0):
+        raise ValueError("fairness values must be non-negative")
+    denom = arr.size * float(np.sum(arr ** 2))
+    if denom == 0:
+        return 1.0
+    return float(np.sum(arr)) ** 2 / denom
+
+
+def max_min_ratio(values: Sequence[float]) -> float:
+    """Spread of a per-tenant quantity: ``max / min`` (>= 1).
+
+    Applied to per-tenant slowdowns it reads as "how many times worse
+    the worst-served tenant fares than the best-served one" — the
+    figure of merit the arbitration policies compete on.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("ratio needs at least one value")
+    lo = float(np.min(arr))
+    if lo <= 0:
+        raise ValueError("values must be positive")
+    return float(np.max(arr)) / lo
 
 
 def normalized_times(makespans: Sequence[float]) -> np.ndarray:

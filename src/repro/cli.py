@@ -1,13 +1,17 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Four subcommands cover the day-to-day uses of the reproduction:
+Five subcommands cover the day-to-day uses of the reproduction:
 
 * ``run``     — one BoT execution (optionally with SpeQuloS), printing
   the metrics the paper reports for it;
 * ``compare`` — a paired with/without-SpeQuloS comparison (speedup,
   TRE, credit consumption);
+* ``multi``   — a multi-tenant scenario: N users' BoTs sharing one
+  BE-DCI, Cloud and credit pool under an arbitration policy, with
+  per-tenant slowdown and fairness output;
 * ``report``  — regenerate any table/figure of the paper by name
-  (``figure1`` .. ``figure7``, ``table1`` .. ``table5``, ``ablation_*``);
+  (``figure1`` .. ``figure7``, ``table1`` .. ``table5``,
+  ``ablation_*``, ``contention``);
 * ``trace``   — synthesize a Table 2 trace and print its measured
   statistics, or export it to the FTA-style text format.
 """
@@ -24,7 +28,8 @@ __all__ = ["main", "build_parser"]
 
 _REPORTS = ("figure1", "figure2", "figure4", "figure5", "figure6",
             "figure7", "table1", "table2", "table3", "table4", "table5",
-            "ablation_threshold", "ablation_budget", "ablation_middleware")
+            "ablation_threshold", "ablation_budget", "ablation_middleware",
+            "contention")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -45,6 +50,26 @@ def build_parser() -> argparse.ArgumentParser:
                           help="paired baseline vs SpeQuloS execution")
     _add_env_args(cmp_)
     cmp_.add_argument("--strategy", default="9C-C-R")
+
+    multi = sub.add_parser(
+        "multi", help="N concurrent tenants sharing one DCI and pool")
+    multi.add_argument("--trace", default="seti")
+    multi.add_argument("--middleware", default="boinc",
+                       choices=("boinc", "xwhep"))
+    multi.add_argument("--seed", type=int, default=1)
+    multi.add_argument("--tenants", type=int, default=8)
+    multi.add_argument("--categories", default="SMALL",
+                       help="comma-separated mix cycled over tenants")
+    multi.add_argument("--policy", default="fairshare",
+                       choices=("fifo", "fairshare", "deadline"))
+    multi.add_argument("--strategy", default="9C-C-R")
+    multi.add_argument("--rate", type=float, default=2.0,
+                       help="Poisson tenant arrivals per hour")
+    multi.add_argument("--bot-size", type=int, default=None)
+    multi.add_argument("--pool-fraction", type=float, default=0.10,
+                       help="pooled credits / aggregate workload")
+    multi.add_argument("--max-workers", type=int, default=None,
+                       help="global cap on concurrent cloud workers")
 
     rep = sub.add_parser("report", help="regenerate a paper table/figure")
     rep.add_argument("name", choices=_REPORTS)
@@ -94,6 +119,31 @@ def _cmd_run(args) -> int:
                           credit_fraction=args.credit_fraction,
                           bot_size=args.bot_size)
     _print_result(run_execution(cfg), cfg.label())
+    return 0
+
+
+def _cmd_multi(args) -> int:
+    from repro.experiments import MultiTenantConfig, run_multi_tenant
+    cfg = MultiTenantConfig(
+        trace=args.trace, middleware=args.middleware, seed=args.seed,
+        n_tenants=args.tenants,
+        categories=tuple(c.strip() for c in args.categories.split(",")),
+        strategy=args.strategy, policy=args.policy,
+        arrival_rate_per_hour=args.rate, bot_size=args.bot_size,
+        pool_fraction=args.pool_fraction,
+        max_total_workers=args.max_workers)
+    res = run_multi_tenant(cfg)
+    print(f"{cfg.label()}:")
+    for t in res.tenants:
+        cens = "  (censored)" if t.censored else ""
+        print(f"  {t.user:<8} {t.category:<7} arr {t.arrival:9.0f} s  "
+              f"makespan {t.makespan:9.0f} s  slowdown {t.slowdown:5.2f}x  "
+              f"workers {t.workers_launched:2d}  "
+              f"credits {t.credits_spent:7.1f}{cens}")
+    print(f"  pool: {res.pool_spent:.1f} of {res.pool_provisioned:.1f} "
+          f"credits spent ({res.pool_used_pct:.1f} %)")
+    print(f"  fairness: max/min slowdown {res.slowdown_spread:.2f}, "
+          f"jain index {res.fairness:.3f}")
     return 0
 
 
@@ -152,7 +202,8 @@ def _cmd_trace(args) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {"run": _cmd_run, "compare": _cmd_compare,
-               "report": _cmd_report, "trace": _cmd_trace}[args.command]
+               "multi": _cmd_multi, "report": _cmd_report,
+               "trace": _cmd_trace}[args.command]
     return handler(args)
 
 

@@ -19,6 +19,15 @@ Two deposit policies are provided: :class:`CappedDailyDeposit` (the
 paper's 200-nodes-per-day style administrator cap) and
 :class:`NetworkOfFavors`, the cooperation-between-institutions scheme
 the paper cites (Andrade et al.) as the natural extension.
+
+Multi-tenant extension (§5's shared-service regime): a
+:class:`CreditPool` escrows one lump of credits that *several* BoT
+orders draw from concurrently — the situation of the EDGI deployment,
+where many users' QoS runs compete for the same cloud supplement.  A
+pooled order bills against the pool's shared remainder (so total spend
+can never exceed the pooled provision); how the remainder is *rationed*
+between simultaneous runs is the arbitration policy's job
+(:mod:`repro.core.scheduler`).
 """
 
 from __future__ import annotations
@@ -27,7 +36,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 __all__ = ["CreditSystem", "InsufficientCredits", "CreditOrder",
-           "CappedDailyDeposit", "NetworkOfFavors", "CREDITS_PER_CPU_HOUR"]
+           "CreditPool", "CappedDailyDeposit", "NetworkOfFavors",
+           "CREDITS_PER_CPU_HOUR"]
 
 #: Fixed exchange rate (§3.3): 1 CPU·hour of Cloud worker = 15 credits.
 CREDITS_PER_CPU_HOUR = 15.0
@@ -39,13 +49,46 @@ class InsufficientCredits(RuntimeError):
 
 @dataclass
 class CreditOrder:
-    """Escrowed credits supporting one BoT's QoS."""
+    """Escrowed credits supporting one BoT's QoS.
+
+    ``pool`` names the :class:`CreditPool` backing the order, when the
+    BoT draws from a shared provision instead of a private escrow; a
+    pooled order's own ``provisioned`` stays 0 and its spendable
+    remainder is the pool's.
+    """
 
     bot_id: str
     user: str
     provisioned: float
     spent: float = 0.0
     closed: bool = False
+    pool: Optional[str] = None
+    #: arbitration cap on this order's total spend (pooled orders only;
+    #: None = may spend up to the whole pool remainder)
+    allowance: Optional[float] = None
+
+    @property
+    def remaining(self) -> float:
+        return max(0.0, self.provisioned - self.spent)
+
+
+@dataclass
+class CreditPool:
+    """One shared escrow that several BoT orders bill against.
+
+    ``expected_members`` declares how many BoTs will eventually join
+    (a service admitting a known tenant stream sets it up front) so a
+    fair-share arbiter can reserve slices for tenants that have not
+    arrived yet.
+    """
+
+    pool_id: str
+    user: str
+    provisioned: float
+    spent: float = 0.0
+    closed: bool = False
+    members: List[str] = field(default_factory=list)
+    expected_members: Optional[int] = None
 
     @property
     def remaining(self) -> float:
@@ -58,6 +101,7 @@ class CreditSystem:
     def __init__(self) -> None:
         self._accounts: Dict[str, float] = {}
         self._orders: Dict[str, CreditOrder] = {}
+        self._pools: Dict[str, CreditPool] = {}
         #: audit log of (op, user/bot, amount) tuples
         self.ledger: List[Tuple[str, str, float]] = []
 
@@ -96,37 +140,130 @@ class CreditSystem:
     def has_credits(self, bot_id: str) -> bool:
         """Scheduler's periodic question: any open provisioned credits?"""
         order = self._orders.get(bot_id)
-        return order is not None and not order.closed and order.remaining > 0
+        if order is None or order.closed:
+            return False
+        return self.remaining_for(bot_id) > 0
+
+    def remaining_for(self, bot_id: str) -> float:
+        """Spendable credits behind an order (pool-aware)."""
+        order = self._orders.get(bot_id)
+        if order is None or order.closed:
+            return 0.0
+        if order.pool is not None:
+            pool = self._pools[order.pool]
+            if pool.closed:
+                return 0.0
+            remaining = pool.remaining
+            if order.allowance is not None:
+                remaining = min(remaining,
+                                max(0.0, order.allowance - order.spent))
+            return remaining
+        return order.remaining
 
     def bill(self, bot_id: str, amount: float) -> float:
         """Consume credits from the order; returns what was billable.
 
-        Billing is clamped to the remaining escrow — the Scheduler
-        stops Cloud workers when this returns less than asked.
+        Billing is clamped to the remaining escrow (the order's own, or
+        the shared pool's for pooled orders) — the Scheduler stops
+        Cloud workers when this returns less than asked.
         """
         if amount < 0:
             raise ValueError("bill amount must be non-negative")
         order = self._orders.get(bot_id)
         if order is None or order.closed:
             return 0.0
-        billed = min(amount, order.remaining)
+        billed = min(amount, self.remaining_for(bot_id))
         order.spent += billed
+        if order.pool is not None:
+            self._pools[order.pool].spent += billed
         if billed:
             self.ledger.append(("bill", bot_id, billed))
         return billed
 
     def close(self, bot_id: str) -> Tuple[float, float]:
-        """Pay the order: returns (spent, refunded)."""
+        """Pay the order: returns (spent, refunded).
+
+        A pooled order never refunds on its own — the shared remainder
+        stays available to the pool's other members until
+        :meth:`close_pool`.
+        """
         order = self._orders.get(bot_id)
         if order is None:
             raise KeyError(f"no order for BoT {bot_id!r}")
         if order.closed:
             return order.spent, 0.0
-        refund = order.remaining
         order.closed = True
+        if order.pool is not None:
+            self.ledger.append(("close", bot_id, 0.0))
+            return order.spent, 0.0
+        refund = order.remaining
         self._accounts[order.user] = self._accounts.get(order.user, 0.0) + refund
         self.ledger.append(("close", bot_id, refund))
         return order.spent, refund
+
+    # ------------------------------------------------------------- pools
+    def open_pool(self, pool_id: str, user: str, amount: float,
+                  expected_members: Optional[int] = None) -> CreditPool:
+        """Escrow ``amount`` from ``user`` into a shared pool."""
+        if amount <= 0:
+            raise ValueError("pool amount must be positive")
+        if pool_id in self._pools and not self._pools[pool_id].closed:
+            raise ValueError(f"pool {pool_id!r} is already open")
+        if expected_members is not None and expected_members < 1:
+            raise ValueError("expected_members must be >= 1 or None")
+        if self.balance(user) < amount:
+            raise InsufficientCredits(
+                f"user {user!r} has {self.balance(user):.1f} credits, "
+                f"needs {amount:.1f}")
+        self._accounts[user] -= amount
+        pool = CreditPool(pool_id=pool_id, user=user, provisioned=amount,
+                          expected_members=expected_members)
+        self._pools[pool_id] = pool
+        self.ledger.append(("open_pool", pool_id, amount))
+        return pool
+
+    def join_pool(self, bot_id: str, pool_id: str) -> CreditOrder:
+        """Open a pooled order: the BoT bills the shared escrow."""
+        pool = self._pools.get(pool_id)
+        if pool is None or pool.closed:
+            raise KeyError(f"no open pool {pool_id!r}")
+        if bot_id in self._orders and not self._orders[bot_id].closed:
+            raise ValueError(f"BoT {bot_id!r} already has an open order")
+        order = CreditOrder(bot_id=bot_id, user=pool.user, provisioned=0.0,
+                            pool=pool_id)
+        self._orders[bot_id] = order
+        pool.members.append(bot_id)
+        self.ledger.append(("join_pool", bot_id, 0.0))
+        return order
+
+    def get_pool(self, pool_id: str) -> Optional[CreditPool]:
+        return self._pools.get(pool_id)
+
+    def set_allowance(self, bot_id: str, allowance: Optional[float]) -> None:
+        """Cap a pooled order's total spend (arbitration hook)."""
+        order = self._orders.get(bot_id)
+        if order is None:
+            raise KeyError(f"no order for BoT {bot_id!r}")
+        if allowance is not None and allowance < 0:
+            raise ValueError("allowance must be >= 0 or None")
+        order.allowance = allowance
+
+    def close_pool(self, pool_id: str) -> Tuple[float, float]:
+        """Close a pool and every member order: (spent, refunded)."""
+        pool = self._pools.get(pool_id)
+        if pool is None:
+            raise KeyError(f"no pool {pool_id!r}")
+        if pool.closed:
+            return pool.spent, 0.0
+        for bot_id in pool.members:
+            order = self._orders.get(bot_id)
+            if order is not None and not order.closed:
+                order.closed = True
+        refund = pool.remaining
+        pool.closed = True
+        self._accounts[pool.user] = self._accounts.get(pool.user, 0.0) + refund
+        self.ledger.append(("close_pool", pool_id, refund))
+        return pool.spent, refund
 
     # --------------------------------------------------------- reporting
     def spent(self, bot_id: str) -> float:

@@ -19,12 +19,31 @@ releases long-idle workers early, and never-assigned workers of a
 Greedy launch are released after one tick (§3.5's release rule).
 Stops are graceful: a unit already running on a stopped worker
 completes, and its final partial billing is settled at stop time.
+
+Multi-tenant arbitration (§5's shared-service regime): when several
+QoS runs compete for one Cloud supplement — the EDGI deployment serves
+many users' BoTs concurrently — a :class:`CloudArbiter` rations a
+global worker budget and the shared credit pool between them.  Three
+policies are provided:
+
+* ``fifo`` — runs are served in registration order; whoever triggers
+  first may take the whole budget (queueing discipline);
+* ``fairshare`` — each pool member's total spend is capped at an equal
+  split of the pooled provision, and the worker budget is divided
+  evenly (max-min style fairness);
+* ``deadline`` — earliest-deadline-first: runs closest to their
+  deadline are served first (EDF over the FIFO allocation rule).
+
+Without an arbiter the Scheduler behaves exactly as the single-BoT
+paper algorithms.
 """
 
 from __future__ import annotations
 
+import math
+
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.cloud.api import ComputeDriver, QuotaExceeded
 from repro.cloud.worker import (
@@ -45,7 +64,8 @@ from repro.core.strategies import (
 from repro.middleware.base import DGServer
 from repro.simulator.engine import PRIORITY_MONITOR, Event, Simulation
 
-__all__ = ["SchedulerConfig", "QoSRun", "SpeQuloSScheduler"]
+__all__ = ["SchedulerConfig", "QoSRun", "SpeQuloSScheduler",
+           "CloudArbiter", "ARBITRATION_POLICIES"]
 
 
 @dataclass(frozen=True)
@@ -92,9 +112,112 @@ class QoSRun:
     handles: List[CloudWorkerHandle] = field(default_factory=list)
     coordinator: Optional[CloudDuplicationCoordinator] = None
     stop_reason: Optional[str] = None
+    #: absolute completion deadline (deadline-proximity arbitration)
+    deadline: Optional[float] = None
 
     def active_workers(self) -> int:
         return sum(1 for h in self.handles if not h.stopped)
+
+
+# ---------------------------------------------------------------------------
+# multi-tenant arbitration
+# ---------------------------------------------------------------------------
+ARBITRATION_POLICIES = ("fifo", "fairshare", "deadline")
+
+
+class CloudArbiter:
+    """Rations Cloud workers and pooled credits across concurrent runs.
+
+    Plugged into :class:`SpeQuloSScheduler`, it intercepts the two
+    resource decisions of Algorithm 1 — how large a credit budget a
+    launch may size against, and how many workers it may actually
+    start — and orders the per-tick service sequence.  See the module
+    docstring for the three policies.
+
+    ``max_total_workers`` bounds *concurrently active* Cloud workers
+    summed over every managed run (the limited cloud supplement);
+    ``None`` leaves workers bounded only by per-run/provider caps.
+    """
+
+    def __init__(self, policy: str = "fairshare",
+                 max_total_workers: Optional[int] = None):
+        if policy not in ARBITRATION_POLICIES:
+            raise ValueError(f"unknown arbitration policy {policy!r}; "
+                             f"available: {', '.join(ARBITRATION_POLICIES)}")
+        if max_total_workers is not None and max_total_workers < 1:
+            raise ValueError("max_total_workers must be >= 1 or None")
+        self.policy = policy
+        self.max_total_workers = max_total_workers
+
+    # ------------------------------------------------------------------
+    def service_order(self, runs: Sequence[QoSRun],
+                      now: float) -> List[QoSRun]:
+        """Per-tick ordering: who gets first claim on free resources."""
+        runs = list(runs)
+        if self.policy == "deadline":
+            runs.sort(key=lambda r: math.inf if r.deadline is None
+                      else r.deadline)
+        return runs
+
+    def credit_budget(self, run: QoSRun, credits: CreditSystem) -> float:
+        """Spendable credits a launch may size against.
+
+        FIFO/deadline runs see the full remaining escrow (first-come /
+        most-urgent takes all); fair-share runs see their rebalanced
+        allowance slice (see :meth:`rebalance`).
+        """
+        return credits.remaining_for(run.bot_id)
+
+    def rebalance(self, scheduler: "SpeQuloSScheduler") -> None:
+        """Fair share as progressive filling (max-min): each tick,
+        every open pooled order's spend cap is reset to its equal
+        slice of what the pool still holds.
+
+        ``allowance_i = spent_i + remaining / k`` where ``k`` counts
+        the claimants still entitled to a slice: open member orders
+        plus declared members that have not joined yet.  Tenants that
+        finish under their slice return the surplus to the split, so
+        heavy tails can draw more once light ones complete — while no
+        single run can raid the slices reserved for the others (the
+        per-tick total of the caps never exceeds the remainder).
+        """
+        if self.policy != "fairshare":
+            return
+        credits = scheduler.credits
+        by_pool: Dict[str, List] = {}
+        for run in scheduler.runs.values():
+            order = credits.get_order(run.bot_id)
+            if order is None or order.closed or order.pool is None:
+                continue
+            by_pool.setdefault(order.pool, []).append(order)
+        for pool_id, orders in by_pool.items():
+            pool = credits.get_pool(pool_id)
+            assert pool is not None
+            open_members = sum(
+                1 for m in pool.members
+                if (o := credits.get_order(m)) is not None and not o.closed)
+            unjoined = max(0, (pool.expected_members or 0)
+                           - len(pool.members))
+            k = max(1, open_members + unjoined)
+            slice_ = pool.remaining / k
+            for order in orders:
+                credits.set_allowance(order.bot_id, order.spent + slice_)
+
+    def worker_grant(self, run: QoSRun, desired: int,
+                     scheduler: "SpeQuloSScheduler") -> int:
+        """Workers the run may actually start, given the global budget."""
+        if desired <= 0:
+            return 0
+        if self.max_total_workers is None:
+            return desired
+        active = sum(r.active_workers() for r in scheduler.runs.values())
+        free = max(0, self.max_total_workers - active)
+        if self.policy == "fairshare":
+            # finished tenants hand their worker slice back to the rest
+            n_peers = max(1, sum(1 for r in scheduler.runs.values()
+                                 if not r.finished))
+            desired = min(desired, max(1, self.max_total_workers // n_peers))
+        return min(desired, free)
 
 
 class SpeQuloSScheduler:
@@ -103,7 +226,8 @@ class SpeQuloSScheduler:
     def __init__(self, sim: Simulation, info: InformationModule,
                  credits: CreditSystem,
                  config: Optional[SchedulerConfig] = None,
-                 on_run_finished: Optional[Callable[[QoSRun], None]] = None):
+                 on_run_finished: Optional[Callable[[QoSRun], None]] = None,
+                 arbiter: Optional[CloudArbiter] = None):
         self.sim = sim
         self.info = info
         self.credits = credits
@@ -111,19 +235,21 @@ class SpeQuloSScheduler:
         self.runs: Dict[str, QoSRun] = {}
         self._tick_ev: Optional[Event] = None
         self._on_run_finished = on_run_finished
+        self.arbiter = arbiter
 
     # ------------------------------------------------------------------
     # registration
     # ------------------------------------------------------------------
     def attach(self, bot_id: str, server: DGServer, driver: ComputeDriver,
-               combo: StrategyCombo) -> QoSRun:
+               combo: StrategyCombo,
+               deadline: Optional[float] = None) -> QoSRun:
         """Start managing QoS for a registered BoT."""
         if bot_id in self.runs:
             raise ValueError(f"BoT {bot_id!r} already managed")
         mon = self.info.monitor(bot_id)
         run = QoSRun(bot_id=bot_id, server=server, driver=driver,
                      monitor=mon, oracle=Oracle(self.info, combo),
-                     combo=combo)
+                     combo=combo, deadline=deadline)
         self.runs[bot_id] = run
         server.add_observer(_CompletionWatcher(self, run))
         self._ensure_ticking()
@@ -140,8 +266,12 @@ class SpeQuloSScheduler:
     # ------------------------------------------------------------------
     def _tick(self) -> None:
         self._tick_ev = None
+        runs: Sequence[QoSRun] = list(self.runs.values())
+        if self.arbiter is not None:
+            runs = self.arbiter.service_order(runs, self.sim.now)
+            self.arbiter.rebalance(self)
         active = False
-        for run in self.runs.values():
+        for run in runs:
             if run.finished:
                 continue
             active = True
@@ -163,10 +293,17 @@ class SpeQuloSScheduler:
         """Size and start the Cloud worker batch (Algorithm 1)."""
         order = self.credits.get_order(run.bot_id)
         assert order is not None
+        if self.arbiter is not None:
+            budget = self.arbiter.credit_budget(run, self.credits)
+        else:
+            # pool-aware: a pooled order's own remaining is always 0
+            budget = self.credits.remaining_for(run.bot_id)
         n = run.oracle.cloud_workers_to_start(
-            run.monitor, order.remaining,
+            run.monitor, budget,
             self.config.credits_per_cpu_hour, self.sim.now)
         n = min(n, self.config.max_workers)
+        if self.arbiter is not None:
+            n = self.arbiter.worker_grant(run, n, self)
         if n <= 0:
             return
         deploy = run.combo.deploy

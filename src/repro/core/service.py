@@ -12,6 +12,12 @@ Wires the four modules together and exposes the sequence-diagram verbs:
 * completion is observed automatically: the Scheduler finalizes the
   Cloud side and the service archives the execution trace into the
   Information module's history for future predictions.
+
+Multi-tenant verbs (§5's shared-service regime): ``open_qos_pool``
+escrows one shared credit provision, ``order_qos_pooled`` lets a
+registered BoT bill against it, and an optional
+:class:`~repro.core.scheduler.CloudArbiter` (constructor argument)
+rations workers and pooled credits between the concurrent runs.
 """
 
 from __future__ import annotations
@@ -20,10 +26,15 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.cloud.api import ComputeDriver
-from repro.core.credit import CREDITS_PER_CPU_HOUR, CreditSystem
+from repro.core.credit import CREDITS_PER_CPU_HOUR, CreditPool, CreditSystem
 from repro.core.info import BoTMonitor, InformationModule
 from repro.core.oracle import Oracle, Prediction
-from repro.core.scheduler import QoSRun, SchedulerConfig, SpeQuloSScheduler
+from repro.core.scheduler import (
+    CloudArbiter,
+    QoSRun,
+    SchedulerConfig,
+    SpeQuloSScheduler,
+)
 from repro.core.strategies import StrategyCombo
 from repro.middleware.base import DGServer
 from repro.simulator.engine import Simulation
@@ -48,13 +59,14 @@ class SpeQuloS:
     def __init__(self, sim: Simulation,
                  info: Optional[InformationModule] = None,
                  credits: Optional[CreditSystem] = None,
-                 scheduler_config: Optional[SchedulerConfig] = None):
+                 scheduler_config: Optional[SchedulerConfig] = None,
+                 arbiter: Optional[CloudArbiter] = None):
         self.sim = sim
         self.info = info or InformationModule()
         self.credits = credits or CreditSystem()
         self.scheduler = SpeQuloSScheduler(
             sim, self.info, self.credits, scheduler_config,
-            on_run_finished=self._archive_run)
+            on_run_finished=self._archive_run, arbiter=arbiter)
         self.dcis: Dict[str, DCIBinding] = {}
         self._bot_dci: Dict[str, str] = {}
         self._bot_env: Dict[str, str] = {}
@@ -77,14 +89,16 @@ class SpeQuloS:
     # ------------------------------------------------------------------
     def register_qos(self, bot: BagOfTasks, dci: str,
                      combo: Optional[StrategyCombo] = None,
-                     submit_time: Optional[float] = None) -> str:
+                     submit_time: Optional[float] = None,
+                     deadline: Optional[float] = None) -> str:
         """registerQoS(BoT) -> BoTId.
 
         Creates the Information monitor and attaches the Scheduler.
         ``submit_time`` defaults to the current simulation time; the
         BoT itself must be submitted to the DG server by the user (as
         in the paper, submission goes directly to the BE-DCI, tagged
-        with the BoTId).
+        with the BoTId).  ``deadline`` (absolute virtual time) feeds
+        the deadline-proximity arbitration policy, when one is active.
         """
         binding = self.dcis[dci]
         t0 = self.sim.now if submit_time is None else submit_time
@@ -95,7 +109,7 @@ class SpeQuloS:
         self._bot_env[bot.bot_id] = self.env_key(dci, bot.category)
         self._bot_combo[bot.bot_id] = combo
         self.scheduler.attach(bot.bot_id, binding.server, binding.driver,
-                              combo)
+                              combo, deadline=deadline)
         return bot.bot_id
 
     def order_qos(self, bot_id: str, user: str, credits: float) -> None:
@@ -103,6 +117,21 @@ class SpeQuloS:
         if bot_id not in self._bot_dci:
             raise KeyError(f"BoT {bot_id!r} is not QoS-registered")
         self.credits.order(bot_id, user, credits)
+
+    # ------------------------------------------------------------------
+    # multi-tenant API (shared-service regime, §5)
+    # ------------------------------------------------------------------
+    def open_qos_pool(self, pool_id: str, user: str, credits: float,
+                      expected_members: Optional[int] = None) -> CreditPool:
+        """Escrow one shared credit provision for several BoTs."""
+        return self.credits.open_pool(pool_id, user, credits,
+                                      expected_members=expected_members)
+
+    def order_qos_pooled(self, bot_id: str, pool_id: str) -> None:
+        """orderQoS against a shared pool instead of a private escrow."""
+        if bot_id not in self._bot_dci:
+            raise KeyError(f"BoT {bot_id!r} is not QoS-registered")
+        self.credits.join_pool(bot_id, pool_id)
 
     def get_prediction(self, bot_id: str) -> Optional[Prediction]:
         """getQoSInformation(BoTId): predicted completion + uncertainty."""
@@ -140,4 +169,4 @@ class SpeQuloS:
         if order is None:
             return {"provisioned": 0.0, "spent": 0.0, "remaining": 0.0}
         return {"provisioned": order.provisioned, "spent": order.spent,
-                "remaining": order.remaining}
+                "remaining": self.credits.remaining_for(bot_id)}

@@ -22,15 +22,27 @@ same grid:
 from repro.experiments.config import (
     CampaignScale,
     ExecutionConfig,
+    MultiTenantConfig,
     get_scale,
 )
-from repro.experiments.runner import ExecutionResult, run_campaign, run_execution
+from repro.experiments.runner import (
+    ExecutionResult,
+    MultiTenantResult,
+    TenantOutcome,
+    run_campaign,
+    run_execution,
+    run_multi_tenant,
+)
 
 __all__ = [
     "CampaignScale",
     "ExecutionConfig",
     "ExecutionResult",
+    "MultiTenantConfig",
+    "MultiTenantResult",
+    "TenantOutcome",
     "get_scale",
     "run_campaign",
     "run_execution",
+    "run_multi_tenant",
 ]

@@ -21,13 +21,15 @@ from __future__ import annotations
 import math
 import os
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import Optional, Tuple
 
+from repro.core.scheduler import ARBITRATION_POLICIES
 from repro.infra.catalog import TRACE_NAMES, get_trace_spec
 from repro.middleware import MIDDLEWARE_NAMES
 from repro.workload.categories import BOT_CATEGORIES
 
-__all__ = ["ExecutionConfig", "CampaignScale", "get_scale", "SCALES"]
+__all__ = ["ExecutionConfig", "MultiTenantConfig", "CampaignScale",
+           "get_scale", "SCALES"]
 
 #: hard ceiling on materialized trace nodes per execution — above this
 #: extra nodes only deepen the idle pool (DESIGN.md §4)
@@ -120,6 +122,113 @@ class ExecutionConfig:
         strat = self.strategy or "nospeq"
         return (f"{self.trace}/{self.middleware}/{self.category}"
                 f"/{strat}/s{self.seed}")
+
+
+@dataclass(frozen=True)
+class MultiTenantConfig:
+    """One multi-tenant scenario: N users' BoTs sharing one BE-DCI,
+    one Cloud supplement and one credit pool.
+
+    The ``seed`` fixes the trace realization, the pool shuffle, the
+    tenant stream (arrival instants + workload draws) and the cloud
+    worker powers, so two configs differing only in ``policy`` replay
+    the same contended environment — the multi-tenant analogue of the
+    paper's paired-seed protocol (§4.1.3).
+    """
+
+    trace: str
+    middleware: str
+    seed: int
+    n_tenants: int = 8
+    #: cycled over tenants (deterministic category mix)
+    categories: Tuple[str, ...] = ("SMALL",)
+    strategy: str = "9C-C-R"
+    strategy_threshold: float = 0.9
+    #: arbitration policy: fifo | fairshare | deadline
+    policy: str = "fairshare"
+    #: Poisson arrival intensity (tenants per hour); ignored when
+    #: ``arrivals`` pins explicit instants
+    arrival_rate_per_hour: float = 2.0
+    arrivals: Optional[Tuple[float, ...]] = None
+    #: task-count override per BoT (campaign scaling)
+    bot_size: Optional[int] = None
+    #: pooled credits as a fraction of the aggregate declared workload
+    pool_fraction: float = 0.10
+    #: global cap on concurrently active Cloud workers (the limited
+    #: supplement the tenants compete for); None = uncapped
+    max_total_workers: Optional[int] = None
+    #: when set, tenant deadlines = arrival + factor x declared
+    #: workload (feeds the deadline-proximity policy)
+    deadline_factor: Optional[float] = None
+    horizon_days: float = 15.0
+    provider: str = "simulation"
+    max_nodes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.trace not in TRACE_NAMES:
+            raise ValueError(f"unknown trace {self.trace!r}")
+        if self.middleware not in MIDDLEWARE_NAMES:
+            raise ValueError(f"unknown middleware {self.middleware!r}")
+        if self.n_tenants < 1:
+            raise ValueError("n_tenants must be >= 1")
+        if not self.categories:
+            raise ValueError("categories must be non-empty")
+        for cat in self.categories:
+            if cat.upper() not in BOT_CATEGORIES:
+                raise ValueError(f"unknown BoT category {cat!r}")
+        if self.policy not in ARBITRATION_POLICIES:
+            raise ValueError(f"unknown arbitration policy {self.policy!r}")
+        if self.arrival_rate_per_hour <= 0:
+            raise ValueError("arrival_rate_per_hour must be positive")
+        if self.arrivals is not None and len(self.arrivals) != self.n_tenants:
+            raise ValueError("arrivals must list one instant per tenant")
+        if not 0.0 < self.pool_fraction <= 1.0:
+            raise ValueError("pool_fraction must be in (0, 1]")
+        if self.horizon_days <= 0:
+            raise ValueError("horizon_days must be positive")
+
+    # ------------------------------------------------------------------
+    def with_policy(self, policy: str) -> "MultiTenantConfig":
+        """The paired scenario under a different arbitration policy."""
+        return replace(self, policy=policy)
+
+    @property
+    def horizon(self) -> float:
+        return self.horizon_days * 86400.0
+
+    def expected_total_size(self) -> int:
+        """Nominal aggregate task count across the tenant stream."""
+        total = 0
+        for i in range(self.n_tenants):
+            cat = BOT_CATEGORIES[self.categories[i % len(self.categories)]
+                                 .upper()]
+            if self.bot_size is not None:
+                total += self.bot_size
+            elif cat.size is not None:
+                total += cat.size
+            else:
+                total += int(cat.size_normal[0])  # type: ignore[index]
+        return total
+
+    def node_cap(self) -> int:
+        """Materialized node count — same rule as
+        :meth:`ExecutionConfig.node_cap`, sized for the aggregate
+        concurrent demand of all tenants."""
+        if self.max_nodes is not None:
+            return self.max_nodes
+        replicas = self.expected_total_size() * (3 if self.middleware
+                                                 == "boinc" else 1)
+        spec = get_trace_spec(self.trace)
+        cap = max(64, math.ceil(1.3 * replicas / spec.participation))
+        return min(cap, spec.natural_node_count(), HARD_NODE_CAP)
+
+    def env_name(self) -> str:
+        return f"{self.trace}-{self.middleware}"
+
+    def label(self) -> str:
+        cats = "+".join(c.upper() for c in self.categories)
+        return (f"{self.trace}/{self.middleware}/{cats}"
+                f"/x{self.n_tenants}/{self.policy}/s{self.seed}")
 
 
 @dataclass(frozen=True)

@@ -8,15 +8,22 @@ Credit + Oracle + Scheduler + cloud driver), submit, and simulate to
 completion (or to the horizon, in which case the result is censored).
 
 Trace realizations are cached per (trace, seed, cap, horizon) within a
-process: the paired with/without runs and the 18-combination strategy
-grid replay the same environment, so regeneration would be pure waste.
-Only the raw interval arrays are cached — Node objects carry a scan
-cursor and are rebuilt per execution.
+process, with true LRU eviction: the paired with/without runs and the
+18-combination strategy grid replay the same environment, so
+regeneration would be pure waste.  Only the raw interval arrays are
+cached — Node objects carry a scan cursor and are rebuilt per
+execution.
+
+Multi-tenant entry point: :func:`run_multi_tenant` simulates N users'
+BoTs arriving over time on *one* shared BE-DCI + Cloud + credit pool,
+under a chosen arbitration policy, and reports per-tenant slowdown and
+fairness — the contention regime of the EDGI deployment (§5).
 """
 
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -25,23 +32,28 @@ import numpy as np
 from repro.analysis.metrics import (
     CompletionProfile,
     ideal_completion_time,
+    jain_fairness_index,
+    max_min_ratio,
     tail_fraction_of_tasks,
     tail_fraction_of_time,
     tail_slowdown,
 )
 from repro.cloud.registry import get_driver
 from repro.core.credit import CREDITS_PER_CPU_HOUR
+from repro.core.scheduler import CloudArbiter
 from repro.core.service import SpeQuloS
 from repro.core.strategies import parse_combo
-from repro.experiments.config import ExecutionConfig
+from repro.experiments.config import ExecutionConfig, MultiTenantConfig
 from repro.infra.catalog import get_trace_spec
 from repro.infra.node import Node
 from repro.infra.pool import NodePool
 from repro.middleware import make_server
 from repro.simulator.engine import Simulation
 from repro.workload.generator import make_bot
+from repro.workload.tenants import generate_tenants
 
-__all__ = ["ExecutionResult", "run_execution", "run_campaign"]
+__all__ = ["ExecutionResult", "run_execution", "run_campaign",
+           "TenantOutcome", "MultiTenantResult", "run_multi_tenant"]
 
 
 @dataclass
@@ -81,10 +93,10 @@ class ExecutionResult:
 
 
 # ---------------------------------------------------------------------------
-# trace realization cache (per process)
+# trace realization cache (per process, true LRU)
 # ---------------------------------------------------------------------------
 _TraceKey = Tuple[str, int, int, float]
-_trace_cache: Dict[_TraceKey, List[Tuple[np.ndarray, np.ndarray, float, str]]] = {}
+_trace_cache: "OrderedDict[_TraceKey, List[Tuple[np.ndarray, np.ndarray, float, str]]]" = OrderedDict()
 _TRACE_CACHE_MAX = 6
 
 
@@ -96,9 +108,13 @@ def _materialize_cached(trace: str, seed: int, cap: int,
         rng = np.random.default_rng([seed, 0xACE])
         nodes = get_trace_spec(trace).materialize(rng, horizon, cap)
         raw = [(n.starts, n.ends, n.power, n.tag) for n in nodes]
-        if len(_trace_cache) >= _TRACE_CACHE_MAX:
-            _trace_cache.pop(next(iter(_trace_cache)))
+        while len(_trace_cache) >= _TRACE_CACHE_MAX:
+            _trace_cache.popitem(last=False)
         _trace_cache[key] = raw
+    else:
+        # LRU: a hit refreshes the entry so hot environments survive
+        # campaign sweeps that touch more traces than the cache holds.
+        _trace_cache.move_to_end(key)
     return [Node(i, power, starts, ends, tag=tag)
             for i, (starts, ends, power, tag) in enumerate(raw)]
 
@@ -204,6 +220,193 @@ def run_execution(cfg: ExecutionConfig,
         wall_seconds=time.perf_counter() - wall0,
         server_stats=vars(server.stats).copy(),
     )
+
+
+# ---------------------------------------------------------------------------
+# multi-tenant scenarios (shared-service regime, §5)
+# ---------------------------------------------------------------------------
+@dataclass
+class TenantOutcome:
+    """What one tenant experienced inside a shared scenario."""
+
+    user: str
+    bot_id: str
+    category: str
+    arrival: float
+    deadline: Optional[float]
+    n_tasks: int
+    #: completion time relative to this tenant's own submission
+    makespan: float
+    censored: bool
+    ideal_time: float
+    slowdown: float
+    credits_spent: float
+    workers_launched: int
+
+
+@dataclass
+class MultiTenantResult:
+    """Scenario-level outcome: per-tenant records + shared accounting."""
+
+    config: MultiTenantConfig
+    tenants: List[TenantOutcome]
+    pool_provisioned: float
+    pool_spent: float
+    #: peak number of simultaneously alive Cloud workers (arbitration
+    #: must keep this within the configured global budget)
+    workers_peak: int
+    events: int
+    wall_seconds: float
+
+    @property
+    def slowdowns(self) -> np.ndarray:
+        return np.asarray([t.slowdown for t in self.tenants])
+
+    @property
+    def makespans(self) -> np.ndarray:
+        return np.asarray([t.makespan for t in self.tenants])
+
+    @property
+    def censored_count(self) -> int:
+        return sum(1 for t in self.tenants if t.censored)
+
+    @property
+    def slowdown_spread(self) -> float:
+        """Max/min per-tenant slowdown — the arbitration fairness
+        figure of merit (1.0 = perfectly even service)."""
+        return max_min_ratio(self.slowdowns)
+
+    @property
+    def fairness(self) -> float:
+        """Jain's index over per-tenant slowdowns."""
+        return jain_fairness_index(self.slowdowns)
+
+    @property
+    def pool_used_pct(self) -> float:
+        if self.pool_provisioned <= 0:
+            return 0.0
+        return 100.0 * self.pool_spent / self.pool_provisioned
+
+
+def run_multi_tenant(cfg: MultiTenantConfig) -> MultiTenantResult:
+    """Simulate N concurrent tenants sharing one DCI, Cloud and pool.
+
+    One simulation hosts every tenant: BoTs are QoS-registered and
+    submitted at their arrival instants, all bill the same credit pool,
+    and the configured :class:`~repro.core.scheduler.CloudArbiter`
+    polices the shared worker budget.  The run stops when every BoT
+    completes (or at the horizon — stragglers are censored).
+    """
+    wall0 = time.perf_counter()
+    horizon = cfg.horizon
+
+    nodes = _materialize_cached(cfg.trace, cfg.seed, cfg.node_cap(), horizon)
+    sim = Simulation(horizon=horizon)
+    pool = NodePool(nodes, rng=np.random.default_rng([cfg.seed, 0xB00]))
+    server = make_server(cfg.middleware, sim, pool)
+    arbiter = CloudArbiter(cfg.policy,
+                           max_total_workers=cfg.max_total_workers)
+    service = SpeQuloS(sim, arbiter=arbiter)
+    driver = get_driver(cfg.provider, sim,
+                        rng=np.random.default_rng([cfg.seed, 0xC10]))
+    service.connect_dci(cfg.env_name(), server, driver)
+
+    combo = parse_combo(cfg.strategy)
+    if cfg.strategy_threshold != combo.threshold:
+        combo = combo.with_threshold(cfg.strategy_threshold)
+    tenants = generate_tenants(
+        np.random.default_rng([cfg.seed, 0x7E7]), cfg.n_tenants,
+        categories=cfg.categories,
+        rate_per_hour=cfg.arrival_rate_per_hour,
+        arrivals=cfg.arrivals, bot_size=cfg.bot_size,
+        deadline_factor=cfg.deadline_factor)
+
+    total_cpu_hours = sum(sub.bot.workload_cpu_hours for sub in tenants)
+    provision = cfg.pool_fraction * total_cpu_hours * CREDITS_PER_CPU_HOUR
+    pool_id = f"pool-{cfg.seed}"
+    service.credits.deposit("tenants", provision)
+    service.open_qos_pool(pool_id, "tenants", provision,
+                          expected_members=cfg.n_tenants)
+
+    pending = {sub.bot_id for sub in tenants}
+
+    class _StopWhenAllDone:
+        def on_bot_completed(self, bot_id: str, t: float) -> None:
+            pending.discard(bot_id)
+            if not pending:
+                sim.stop()
+
+    server.add_observer(_StopWhenAllDone())
+
+    def _admit(sub) -> None:
+        service.register_qos(sub.bot, cfg.env_name(), combo,
+                             deadline=sub.deadline)
+        service.order_qos_pooled(sub.bot_id, pool_id)
+        server.submit_bot(sub.bot, at=sim.now)
+
+    for sub in tenants:
+        if sub.arrival < horizon:
+            sim.at(sub.arrival, _admit, sub)
+    sim.run()
+
+    outcomes: List[TenantOutcome] = []
+    for sub in tenants:
+        if sub.bot_id not in service.scheduler.runs:
+            # never admitted before the horizon: fully censored
+            span = max(0.0, horizon - sub.arrival)
+            profile = CompletionProfile(np.full(sub.bot.size, span))
+            outcomes.append(TenantOutcome(
+                user=sub.user, bot_id=sub.bot_id,
+                category=sub.bot.category, arrival=sub.arrival,
+                deadline=sub.deadline, n_tasks=sub.bot.size,
+                makespan=profile.makespan, censored=True,
+                ideal_time=ideal_completion_time(profile),
+                slowdown=tail_slowdown(profile),
+                credits_spent=0.0, workers_launched=0))
+            continue
+        run = service.run_for(sub.bot_id)
+        service.scheduler.finalize(run)  # settle accounts if censored
+        mon = service.monitor(sub.bot_id)
+        censored = not mon.done
+        if censored:
+            missing = mon.total - mon.completed_count
+            times = np.concatenate([np.asarray(mon.completion_times),
+                                    np.full(missing, horizon - mon.t0)])
+        else:
+            times = np.asarray(mon.completion_times)
+        profile = CompletionProfile(np.sort(times))
+        order = service.credits.get_order(sub.bot_id)
+        outcomes.append(TenantOutcome(
+            user=sub.user, bot_id=sub.bot_id, category=sub.bot.category,
+            arrival=sub.arrival, deadline=sub.deadline,
+            n_tasks=sub.bot.size,
+            makespan=profile.makespan, censored=censored,
+            ideal_time=ideal_completion_time(profile),
+            slowdown=tail_slowdown(profile),
+            credits_spent=order.spent if order is not None else 0.0,
+            workers_launched=run.workers_launched))
+
+    spent, _refund = service.credits.close_pool(pool_id)
+    return MultiTenantResult(
+        config=cfg, tenants=outcomes,
+        pool_provisioned=provision, pool_spent=spent,
+        workers_peak=_peak_concurrency(driver),
+        events=sim.events_processed,
+        wall_seconds=time.perf_counter() - wall0)
+
+
+def _peak_concurrency(driver) -> int:
+    """Max simultaneously alive instances over the driver's history."""
+    deltas: List[Tuple[float, int]] = []
+    for inst in driver.instances.values():
+        deltas.append((inst.created_at, 1))
+        if inst.destroyed_at is not None:
+            deltas.append((inst.destroyed_at, -1))
+    peak = cur = 0
+    for _t, d in sorted(deltas):
+        cur += d
+        peak = max(peak, cur)
+    return peak
 
 
 # ---------------------------------------------------------------------------

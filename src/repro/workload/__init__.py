@@ -6,6 +6,10 @@ arrival time.  Three categories drive the evaluation: ``SMALL`` (1000
 long homogeneous tasks), ``BIG`` (10000 short homogeneous tasks) and
 ``RANDOM`` (statistically generated heterogeneous BoTs following the
 analysis of Minh & Wolters).
+
+:mod:`repro.workload.tenants` layers multi-tenant traffic on top: a
+reproducible stream of many users' BoTs (Poisson or trace-driven
+arrivals, mixed categories) entering one shared SpeQuloS service.
 """
 
 from repro.workload.bot import BagOfTasks, Task
@@ -15,6 +19,11 @@ from repro.workload.categories import (
     get_category,
 )
 from repro.workload.generator import make_bot
+from repro.workload.tenants import (
+    TenantSubmission,
+    generate_tenants,
+    poisson_arrivals,
+)
 
 __all__ = [
     "BagOfTasks",
@@ -23,4 +32,7 @@ __all__ = [
     "BOT_CATEGORIES",
     "get_category",
     "make_bot",
+    "TenantSubmission",
+    "generate_tenants",
+    "poisson_arrivals",
 ]

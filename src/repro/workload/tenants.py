@@ -1,0 +1,110 @@
+"""Multi-tenant workload layer: many users' BoTs arriving over time.
+
+The paper's deployment (§5, EDGI) runs SpeQuloS as a *shared service*:
+several users submit QoS-enabled BoTs to the same BE-DCI and compete
+for the same Cloud supplement.  This module synthesizes that traffic —
+a stream of :class:`TenantSubmission`\\ s, one per user, with arrival
+instants drawn from a Poisson process (exponential inter-arrivals) or
+replayed from an explicit trace, and categories drawn from a
+configurable mix.
+
+Everything is driven by one :class:`numpy.random.Generator`, so a
+tenant stream is exactly reproducible from its seed; the BoT of tenant
+``i`` is drawn from a child stream spawned per tenant, which keeps the
+draw independent of how many tenants precede it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.workload.bot import BagOfTasks
+from repro.workload.generator import make_bot
+
+__all__ = ["TenantSubmission", "poisson_arrivals", "generate_tenants"]
+
+
+@dataclass(frozen=True)
+class TenantSubmission:
+    """One user's BoT entering the shared service."""
+
+    user: str
+    bot: BagOfTasks
+    #: absolute submission instant (virtual seconds)
+    arrival: float
+    #: absolute completion deadline, or None (deadline arbitration)
+    deadline: Optional[float] = None
+
+    @property
+    def bot_id(self) -> str:
+        return self.bot.bot_id
+
+
+def poisson_arrivals(rng: np.random.Generator, n: int,
+                     rate_per_hour: float) -> np.ndarray:
+    """``n`` arrival instants of a Poisson process (seconds from 0).
+
+    The first tenant arrives at t=0 — a multi-tenant scenario always
+    has an initial submission — and subsequent inter-arrival gaps are
+    exponential with mean ``3600 / rate_per_hour``.
+    """
+    if n < 1:
+        raise ValueError("need at least one tenant")
+    if rate_per_hour <= 0:
+        raise ValueError("rate_per_hour must be positive")
+    gaps = rng.exponential(3600.0 / rate_per_hour, n - 1)
+    return np.concatenate([[0.0], np.cumsum(gaps)])
+
+
+def generate_tenants(rng: np.random.Generator, n: int,
+                     categories: Sequence[str] = ("SMALL",),
+                     rate_per_hour: float = 2.0,
+                     arrivals: Optional[Sequence[float]] = None,
+                     bot_size: Optional[int] = None,
+                     deadline_factor: Optional[float] = None,
+                     ) -> List[TenantSubmission]:
+    """Draw a reproducible stream of ``n`` tenant submissions.
+
+    Parameters
+    ----------
+    categories:
+        Cycled over tenants (a mixed stream interleaves categories
+        deterministically, so two policies see the same mix).
+    rate_per_hour:
+        Poisson arrival intensity; ignored when ``arrivals`` is given.
+    arrivals:
+        Explicit (trace-driven) absolute arrival instants, sorted,
+        length ``n``.
+    bot_size:
+        Task-count override applied to every BoT (campaign scaling).
+    deadline_factor:
+        When set, tenant ``i`` gets an absolute deadline of
+        ``arrival + deadline_factor x size x wall_clock`` — a loose
+        per-BoT budget the deadline-proximity policy can rank on.
+    """
+    if arrivals is not None:
+        times = np.asarray(list(arrivals), dtype=float)
+        if times.shape != (n,):
+            raise ValueError(f"need exactly {n} arrival instants")
+        if np.any(np.diff(times) < 0) or (n and times[0] < 0):
+            raise ValueError("arrivals must be sorted and non-negative")
+    else:
+        times = poisson_arrivals(rng, n, rate_per_hour)
+
+    out: List[TenantSubmission] = []
+    streams = rng.spawn(n)
+    for i in range(n):
+        category = categories[i % len(categories)]
+        bot = make_bot(category, streams[i], bot_id=f"tenant{i}",
+                       size_override=bot_size)
+        deadline = None
+        if deadline_factor is not None:
+            deadline = float(times[i]) + (deadline_factor * bot.size
+                                          * bot.wall_clock)
+        out.append(TenantSubmission(user=f"user{i}", bot=bot,
+                                    arrival=float(times[i]),
+                                    deadline=deadline))
+    return out

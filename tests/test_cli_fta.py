@@ -154,6 +154,18 @@ def test_cli_trace_inspect(capsys, tmp_path):
     assert len(load_trace(str(export))) > 0
 
 
+def test_cli_multi(capsys):
+    rc = main(["multi", "--trace", "nd", "--middleware", "xwhep",
+               "--seed", "3", "--tenants", "4", "--bot-size", "30",
+               "--policy", "fairshare", "--max-workers", "4"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "user0" in out and "user3" in out
+    assert "max/min slowdown" in out
+    assert "jain index" in out
+    assert "pool:" in out
+
+
 def test_cli_report_table3(capsys):
     rc = main(["report", "table3"])
     out = capsys.readouterr().out

@@ -1,0 +1,113 @@
+"""Edge-case regressions for the Oracle's α fit and success criterion.
+
+``fit_alpha`` is a weighted-median solver; its contract at the edges
+(no usable history, non-finite or non-positive entries, single sample,
+ties at the 50 % weight boundary) and ``prediction_success`` exactly
+at the ±20 % tolerance boundaries are pinned here.
+"""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.oracle import SUCCESS_TOLERANCE, fit_alpha, prediction_success
+
+
+# ------------------------------------------------------------- fit_alpha
+def test_fit_alpha_empty_history_returns_one():
+    assert fit_alpha([], []) == 1.0
+
+
+def test_fit_alpha_all_entries_unusable_returns_one():
+    p = [0.0, -1.0, float("nan"), float("inf")]
+    a = [10.0, 10.0, 10.0, 10.0]
+    assert fit_alpha(p, a) == 1.0
+
+
+def test_fit_alpha_filters_bad_entries_pairwise():
+    # the one clean pair (p=2, a=6) should decide alpha alone
+    p = [2.0, float("nan"), 5.0, 0.0, float("inf")]
+    a = [6.0, 1.0, float("nan"), 1.0, 1.0]
+    assert fit_alpha(p, a) == pytest.approx(3.0)
+
+
+def test_fit_alpha_rejects_nonpositive_actuals():
+    p = [1.0, 1.0, 4.0]
+    a = [0.0, -2.0, 8.0]
+    assert fit_alpha(p, a) == pytest.approx(2.0)
+
+
+def test_fit_alpha_single_sample_is_exact_ratio():
+    assert fit_alpha([4.0], [10.0]) == pytest.approx(2.5)
+
+
+def test_fit_alpha_identical_ratios_any_weights():
+    p = [1.0, 10.0, 100.0]
+    a = [1.5, 15.0, 150.0]
+    assert fit_alpha(p, a) == pytest.approx(1.5)
+
+
+def test_fit_alpha_tie_at_half_weight_boundary():
+    # two equal-weight samples, ratios 2 and 4: every alpha in [2, 4]
+    # minimizes |a - 2| + |a - 4|; the solver picks the boundary where
+    # cumulative weight first reaches exactly half the total
+    assert fit_alpha([1.0, 1.0], [2.0, 4.0]) == pytest.approx(2.0)
+
+
+def test_fit_alpha_weighted_median_prefers_heavy_sample():
+    # ratio 1 carries weight 3, ratio 2 carries weight 1: the optimum
+    # of |a*1 - 2| + |a*3 - 3| sits at the heavy sample's ratio
+    assert fit_alpha([1.0, 3.0], [2.0, 3.0]) == pytest.approx(1.0)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_fit_alpha_minimizes_least_absolute_error(seed):
+    rng = random.Random(seed)
+    p = [rng.uniform(0.5, 20.0) for _ in range(rng.randrange(1, 12))]
+    a = [rng.uniform(0.5, 20.0) for _ in range(len(p))]
+    alpha = fit_alpha(p, a)
+
+    def loss(x):
+        return sum(abs(x * pi - ai) for pi, ai in zip(p, a))
+
+    # the optimum of a piecewise-linear convex loss: no nearby point,
+    # and no other breakpoint (ratio), does better
+    for x in [alpha * (1 + eps) for eps in (-1e-6, 1e-6)]:
+        assert loss(alpha) <= loss(x) + 1e-9
+    for ratio in (ai / pi for pi, ai in zip(p, a)):
+        assert loss(alpha) <= loss(ratio) + 1e-9
+
+
+def test_fit_alpha_accepts_numpy_arrays():
+    p = np.array([1.0, 2.0, 3.0])
+    a = np.array([2.0, 4.0, 6.0])
+    assert fit_alpha(p, a) == pytest.approx(2.0)
+
+
+# ---------------------------------------------------- prediction_success
+def test_prediction_success_exact_lower_boundary_is_hit():
+    assert prediction_success(100.0, 80.0)
+    assert not prediction_success(100.0, math.nextafter(80.0, 0.0))
+
+
+def test_prediction_success_exact_upper_boundary_is_hit():
+    assert prediction_success(100.0, 120.0)
+    assert not prediction_success(100.0, math.nextafter(120.0, math.inf))
+
+
+def test_prediction_success_tolerance_is_twenty_percent():
+    assert SUCCESS_TOLERANCE == pytest.approx(0.20)
+
+
+def test_prediction_success_nonpositive_prediction_fails():
+    assert not prediction_success(0.0, 0.0)
+    assert not prediction_success(-5.0, 1.0)
+
+
+def test_prediction_success_custom_tolerance_boundaries():
+    assert prediction_success(200.0, 100.0, tolerance=0.5)
+    assert prediction_success(200.0, 300.0, tolerance=0.5)
+    assert not prediction_success(200.0, 99.999, tolerance=0.5)
+    assert not prediction_success(200.0, 300.001, tolerance=0.5)

@@ -72,6 +72,7 @@ def test_table3_report_contents():
     assert "weib(91.98,0.57)" in body
 
 
+@pytest.mark.slow
 def test_table2_report_small_horizon():
     rep = figures.table2_report(horizon_days=0.5, step=600.0)
     body = rep.render()
@@ -85,6 +86,16 @@ def test_table5_report_contents():
     body = rep.render()
     for comp in ("XW@LAL", "XW@LRI", "EGI", "StratusLab", "EC2"):
         assert comp in body
+
+
+@pytest.mark.slow
+def test_contention_report_contents():
+    rep = figures.contention_report(TINY)
+    body = rep.render()
+    for policy in ("fifo", "fairshare", "deadline"):
+        assert policy in body
+    assert "max/min spread" in body
+    assert "jain index" in body
 
 
 def test_material_tail_filter():

@@ -144,6 +144,46 @@ def test_campaign_parallel_order_and_determinism():
     assert [r.config.seed for r in parallel] == list(range(8))
 
 
+# ------------------------------------------------------------- trace cache
+def test_trace_cache_is_true_lru(monkeypatch):
+    import repro.experiments.runner as runner_mod
+    monkeypatch.setattr(runner_mod, "_TRACE_CACHE_MAX", 3)
+    runner_mod._trace_cache.clear()
+    horizon = 3600.0
+
+    def key(seed):
+        return ("nd", seed, 4, horizon)
+
+    for seed in (1, 2, 3):
+        runner_mod._materialize_cached("nd", seed, 4, horizon)
+    assert list(runner_mod._trace_cache) == [key(1), key(2), key(3)]
+
+    # a hit refreshes recency: key(1) moves to the back...
+    runner_mod._materialize_cached("nd", 1, 4, horizon)
+    assert list(runner_mod._trace_cache) == [key(2), key(3), key(1)]
+
+    # ...so a miss evicts the least recently USED (key 2), not the
+    # oldest inserted (key 1)
+    runner_mod._materialize_cached("nd", 4, 4, horizon)
+    assert key(1) in runner_mod._trace_cache
+    assert key(2) not in runner_mod._trace_cache
+    assert list(runner_mod._trace_cache) == [key(3), key(1), key(4)]
+    runner_mod._trace_cache.clear()
+
+
+def test_trace_cache_hit_reuses_realization_but_rebuilds_nodes():
+    import repro.experiments.runner as runner_mod
+    runner_mod._trace_cache.clear()
+    a = runner_mod._materialize_cached("nd", 9, 4, 3600.0)
+    raw = next(iter(runner_mod._trace_cache.values()))
+    b = runner_mod._materialize_cached("nd", 9, 4, 3600.0)
+    assert len(runner_mod._trace_cache) == 1
+    # same cached interval arrays back the rebuilt Node objects
+    assert a[0] is not b[0]
+    assert a[0].starts is b[0].starts is raw[0][0]
+    runner_mod._trace_cache.clear()
+
+
 def test_censoring_at_horizon():
     # an impossible deadline: 1000-task bot, horizon of ~2 minutes
     cfg = ExecutionConfig(trace="g5klyo", middleware="xwhep",
