@@ -5,7 +5,14 @@ needed campaign once (``benchmark.pedantic(rounds=1)`` — these are
 simulation campaigns, not microbenchmarks), prints the paper-style
 table, and writes it under ``benchmarks/results/`` for EXPERIMENTS.md.
 
-Campaign size is controlled by ``REPRO_SCALE`` (quick | full).
+Campaign size is controlled by ``REPRO_SCALE`` (quick | full); the
+campaign process count by ``REPRO_JOBS`` (threaded through
+:func:`repro.campaign.executor.default_jobs` into every
+``run_campaign`` fan-out).  All campaigns run through the
+content-addressed store under ``benchmarks/.campaign_store/`` (CI
+persists it between runs), so a warm re-run regenerates every figure
+without a single new simulation; the terminal summary prints the
+store's hit/miss stats.
 
 Every bench is marked ``slow`` at collection: regenerating the paper's
 figures dominates the suite's runtime, so the fast developer lane
@@ -26,6 +33,18 @@ def pytest_collection_modifyitems(items):
     for item in items:
         if _BENCH_DIR in pathlib.Path(str(item.fspath)).parents:
             item.add_marker(pytest.mark.slow)
+
+
+def pytest_terminal_summary(terminalreporter):
+    """Surface campaign-store effectiveness (CI greps this line)."""
+    from repro.campaign.executor import default_jobs
+    from repro.campaign.store import current_store
+
+    store = current_store()
+    if store is not None and store.stats.lookups:
+        terminalreporter.write_line(
+            f"campaign store: {store.stats.summary()}, "
+            f"{len(store)} records, jobs={default_jobs()} — {store.path}")
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,69 @@
+"""Campaign engine: declarative sweeps, a content-addressed result
+store, and a sharded executor.
+
+The paper's evaluation is a campaign of >25 000 simulated executions;
+this package is the reproduction's single execution substrate for such
+sweeps:
+
+* :mod:`repro.campaign.spec` — declarative :class:`SweepSpec` /
+  :class:`MultiTenantSweepSpec` / :class:`CampaignSpec` grids that
+  expand to canonical, hashable config lists;
+* :mod:`repro.campaign.store` — a content-addressed on-disk
+  :class:`ResultStore` (stdlib SQLite) keyed by a stable digest of the
+  config plus a code-version salt, with hit/miss stats and
+  invalidation;
+* :mod:`repro.campaign.executor` — a sharded process-pool
+  :class:`CampaignExecutor` that only simulates cache misses,
+  partitions work by trace realization for cache locality, survives
+  worker crashes, and persists every finished result so interrupted
+  campaigns resume where they stopped;
+* :mod:`repro.campaign.progress` — tick/ETA reporting for long sweeps.
+
+``experiments.runner.run_campaign`` and every ``figures.py`` report
+builder run through this package, so re-running any report against a
+warm store performs zero new simulations.
+"""
+
+from repro.campaign.executor import (
+    CampaignExecutor,
+    default_jobs,
+    run_cached,
+    set_default_jobs,
+)
+from repro.campaign.progress import ProgressReporter
+from repro.campaign.spec import (
+    CampaignSpec,
+    MultiTenantSweepSpec,
+    SweepSpec,
+    stable_seed,
+)
+from repro.campaign.store import (
+    CODE_VERSION,
+    ResultStore,
+    StoreStats,
+    config_digest,
+    current_store,
+    default_store,
+    set_cache_enabled,
+    set_default_store,
+)
+
+__all__ = [
+    "CampaignExecutor",
+    "CampaignSpec",
+    "CODE_VERSION",
+    "MultiTenantSweepSpec",
+    "ProgressReporter",
+    "ResultStore",
+    "StoreStats",
+    "SweepSpec",
+    "config_digest",
+    "current_store",
+    "default_jobs",
+    "default_store",
+    "run_cached",
+    "set_cache_enabled",
+    "set_default_jobs",
+    "set_default_store",
+    "stable_seed",
+]

@@ -1,0 +1,84 @@
+"""Tick/ETA reporting for long sweeps.
+
+A :class:`ProgressReporter` is fed one :meth:`~ProgressReporter.tick`
+per finished config (cache hits fast-forward in bulk) and prints a
+single-line status at most every ``min_interval`` seconds, so a
+64-tenant contention sweep stays observable without drowning the
+terminal.  The clock and stream are injectable for tests.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, Optional, TextIO
+
+__all__ = ["ProgressReporter", "format_duration"]
+
+
+def format_duration(seconds: float) -> str:
+    """Compact human duration: 42s, 3m12s, 2h05m."""
+    seconds = max(0.0, seconds)
+    if seconds < 60.0:
+        return f"{seconds:.0f}s"
+    minutes, secs = divmod(int(round(seconds)), 60)
+    if minutes < 60:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
+class ProgressReporter:
+    """Counts completed work units and reports elapsed/ETA lines."""
+
+    def __init__(self, total: int, label: str = "campaign",
+                 stream: Optional[TextIO] = None,
+                 min_interval: float = 2.0,
+                 clock: Callable[[], float] = time.monotonic):
+        if total < 0:
+            raise ValueError("total must be >= 0")
+        self.total = total
+        self.done = 0
+        self.label = label
+        self._stream = stream if stream is not None else sys.stderr
+        self._min_interval = min_interval
+        self._clock = clock
+        self._t0 = clock()
+        self._last_emit: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def elapsed(self) -> float:
+        return self._clock() - self._t0
+
+    def eta(self) -> Optional[float]:
+        """Remaining seconds extrapolated from throughput so far."""
+        if self.done <= 0 or self.total <= 0:
+            return None
+        return self.elapsed / self.done * (self.total - self.done)
+
+    def line(self) -> str:
+        pct = 100.0 * self.done / self.total if self.total else 100.0
+        line = (f"{self.label}: {self.done}/{self.total} ({pct:.0f}%) "
+                f"elapsed {format_duration(self.elapsed)}")
+        eta = self.eta()
+        if eta is not None and self.done < self.total:
+            line += f", eta {format_duration(eta)}"
+        return line
+
+    def tick(self, n: int = 1) -> None:
+        """Advance by ``n`` finished units, emitting when due."""
+        self.done += n
+        now = self._clock()
+        due = (self._last_emit is None
+               or now - self._last_emit >= self._min_interval
+               or self.done >= self.total)
+        if due:
+            self._last_emit = now
+            print(self.line(), file=self._stream, flush=True)
+
+    def finish(self) -> None:
+        """Force a final line (idempotent when already at total)."""
+        if self.done < self.total or self._last_emit is None:
+            self._last_emit = None
+            self.tick(0)

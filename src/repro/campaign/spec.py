@@ -1,0 +1,289 @@
+"""Declarative sweep specifications.
+
+A :class:`SweepSpec` is a cartesian grid over the single-BoT axes
+(trace x middleware x category x strategy x seed x threshold x credit
+fraction) that expands to a canonical list of
+:class:`~repro.experiments.config.ExecutionConfig`; a
+:class:`MultiTenantSweepSpec` does the same over the shared-service
+axes (policy x tenant count x seed) for
+:class:`~repro.experiments.config.MultiTenantConfig`.  A
+:class:`CampaignSpec` bundles several sweeps under one name.
+
+Specs are frozen dataclasses of plain tuples, so they are hashable and
+comparable; two equal specs always expand to the same config list in
+the same order.  Expansion order is fixed — strategies (policies)
+outermost, then trace, middleware, category, seed, threshold, credit
+fraction — so consumers can slice the flat result list into blocks per
+strategy exactly as the hand-rolled grids in ``figures.py`` used to be
+built.
+
+Seeds come either from an explicit ``seeds`` tuple or from
+:func:`stable_seed`, a CRC32 of the environment label and slot index.
+CRC32 rather than ``hash()``: the builtin's string hash is salted per
+process (PYTHONHASHSEED), which would silently draw fresh campaign
+seeds on every run and make saved figure outputs unreproducible.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.experiments.config import (
+    CampaignScale,
+    ExecutionConfig,
+    MultiTenantConfig,
+)
+from repro.infra.catalog import TRACE_NAMES
+from repro.middleware import MIDDLEWARE_NAMES
+
+__all__ = ["CampaignSpec", "MultiTenantSweepSpec", "SweepSpec",
+           "stable_seed", "scaled_bot_sizes"]
+
+
+def stable_seed(trace: str, middleware: str, category: str,
+                slot: int) -> int:
+    """Stable, process-independent seed for one environment slot."""
+    return zlib.crc32(
+        f"{trace}/{middleware}/{category}/{slot}".encode()) % (2 ** 31)
+
+
+def scaled_bot_sizes(scale: CampaignScale, categories: Sequence[str]
+                     ) -> Tuple[Tuple[str, Optional[int]], ...]:
+    """Per-category BoT-size overrides for a campaign scale, in the
+    hashable pair form :class:`SweepSpec.bot_sizes` expects."""
+    return tuple((cat, scale.bot_size(cat)) for cat in categories)
+
+
+def _tuplify(value) -> tuple:
+    if value is None:
+        return value
+    return tuple(value)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """One cartesian grid of single-BoT executions."""
+
+    traces: Tuple[str, ...] = TRACE_NAMES
+    middlewares: Tuple[str, ...] = tuple(MIDDLEWARE_NAMES)
+    categories: Tuple[str, ...] = ("SMALL", "BIG", "RANDOM")
+    #: strategy combination names; ``None`` entries mean no SpeQuloS
+    strategies: Tuple[Optional[str], ...] = (None,)
+    #: explicit seeds (shared by every environment); wins over slots
+    seeds: Optional[Tuple[int, ...]] = None
+    #: number of :func:`stable_seed` slots per environment
+    seed_slots: int = 1
+    #: first slot index (distinct grids use distinct bases)
+    seed_base: int = 0
+    thresholds: Tuple[float, ...] = (0.9,)
+    credit_fractions: Tuple[float, ...] = (0.10,)
+    #: per-category task-count overrides ((category, size) pairs);
+    #: categories absent from the mapping run unscaled
+    bot_sizes: Optional[Tuple[Tuple[str, Optional[int]], ...]] = None
+    horizon_days: float = 15.0
+    provider: str = "simulation"
+    max_nodes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in ("traces", "middlewares", "categories", "strategies",
+                     "seeds", "thresholds", "credit_fractions", "bot_sizes"):
+            object.__setattr__(self, name, _tuplify(getattr(self, name)))
+        for name in ("traces", "middlewares", "categories", "strategies",
+                     "thresholds", "credit_fractions"):
+            if not getattr(self, name):
+                raise ValueError(f"{name} must be non-empty")
+        if self.seeds is not None and not self.seeds:
+            raise ValueError("seeds must be non-empty when given")
+        if self.seeds is None and self.seed_slots < 1:
+            raise ValueError("seed_slots must be >= 1")
+
+    # ------------------------------------------------------------------
+    def with_strategies(self, *strategies: Optional[str]) -> "SweepSpec":
+        return replace(self, strategies=strategies)
+
+    def bot_size_for(self, category: str) -> Optional[int]:
+        for cat, size in self.bot_sizes or ():
+            if cat.upper() == category.upper():
+                return size
+        return None
+
+    def seeds_for(self, trace: str, middleware: str,
+                  category: str) -> Tuple[int, ...]:
+        if self.seeds is not None:
+            return self.seeds
+        return tuple(stable_seed(trace, middleware, category,
+                                 self.seed_base + i)
+                     for i in range(self.seed_slots))
+
+    def n_configs(self) -> int:
+        per_env = (len(self.seeds) if self.seeds is not None
+                   else self.seed_slots)
+        return (len(self.strategies) * len(self.traces)
+                * len(self.middlewares) * len(self.categories) * per_env
+                * len(self.thresholds) * len(self.credit_fractions))
+
+    def expand(self) -> List[ExecutionConfig]:
+        """The canonical config list (strategies outermost).
+
+        Threshold and credit-fraction only influence the simulation
+        when a strategy runs, so no-SpeQuloS grid points canonicalize
+        those axes to their defaults — sweeping them yields *equal*
+        baseline configs (one simulation, one store record) instead of
+        distinct digests for physically identical runs.
+        """
+        defaults = ExecutionConfig.__dataclass_fields__
+        cfgs: List[ExecutionConfig] = []
+        for strategy in self.strategies:
+            for trace in self.traces:
+                for mw in self.middlewares:
+                    for cat in self.categories:
+                        for seed in self.seeds_for(trace, mw, cat):
+                            for thr in self.thresholds:
+                                for frac in self.credit_fractions:
+                                    if strategy is None:
+                                        thr = defaults[
+                                            "strategy_threshold"].default
+                                        frac = defaults[
+                                            "credit_fraction"].default
+                                    cfgs.append(ExecutionConfig(
+                                        trace=trace, middleware=mw,
+                                        category=cat, seed=seed,
+                                        strategy=strategy,
+                                        strategy_threshold=thr,
+                                        credit_fraction=frac,
+                                        bot_size=self.bot_size_for(cat),
+                                        max_nodes=self.max_nodes,
+                                        horizon_days=self.horizon_days,
+                                        provider=self.provider))
+        return cfgs
+
+
+@dataclass(frozen=True)
+class MultiTenantSweepSpec:
+    """Cartesian grid of shared-service scenarios (contention sweeps).
+
+    Two axes scale with the tenant count declaratively so the grid
+    stays hashable: with ``pool_scaling="per-tenant"`` the pool holds
+    ``pool_fraction / n`` of the aggregate workload (total provision
+    independent of N, so contention grows with N), and with
+    ``worker_budget_scaling="at-least-tenants"`` the global worker cap
+    is ``max(worker_budget, n)``.
+    """
+
+    traces: Tuple[str, ...] = ("seti",)
+    middlewares: Tuple[str, ...] = ("boinc",)
+    policies: Tuple[str, ...] = ("fairshare",)
+    tenant_counts: Tuple[int, ...] = (1,)
+    seeds: Tuple[int, ...] = (0,)
+    categories: Tuple[str, ...] = ("SMALL",)
+    strategy: str = "9C-C-R"
+    strategy_threshold: float = 0.9
+    arrival_rate_per_hour: float = 2.0
+    bot_size: Optional[int] = None
+    pool_fraction: float = 0.10
+    #: "fixed" | "per-tenant" (divide pool_fraction by the tenant count)
+    pool_scaling: str = "fixed"
+    worker_budget: Optional[int] = None
+    #: "fixed" | "at-least-tenants" (raise the budget to the tenant count)
+    worker_budget_scaling: str = "fixed"
+    deadline_factor: Optional[float] = None
+    horizon_days: float = 15.0
+    provider: str = "simulation"
+    max_nodes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in ("traces", "middlewares", "policies", "tenant_counts",
+                     "seeds", "categories"):
+            object.__setattr__(self, name, _tuplify(getattr(self, name)))
+            if not getattr(self, name):
+                raise ValueError(f"{name} must be non-empty")
+        if self.pool_scaling not in ("fixed", "per-tenant"):
+            raise ValueError(f"unknown pool_scaling {self.pool_scaling!r}")
+        if self.worker_budget_scaling not in ("fixed", "at-least-tenants"):
+            raise ValueError("unknown worker_budget_scaling "
+                             f"{self.worker_budget_scaling!r}")
+
+    # ------------------------------------------------------------------
+    def pool_fraction_for(self, n_tenants: int) -> float:
+        if self.pool_scaling == "per-tenant":
+            return self.pool_fraction / n_tenants
+        return self.pool_fraction
+
+    def worker_budget_for(self, n_tenants: int) -> Optional[int]:
+        if self.worker_budget is None:
+            return None
+        if self.worker_budget_scaling == "at-least-tenants":
+            return max(self.worker_budget, n_tenants)
+        return self.worker_budget
+
+    def n_configs(self) -> int:
+        return (len(self.policies) * len(self.tenant_counts)
+                * len(self.traces) * len(self.middlewares)
+                * len(self.seeds))
+
+    def expand(self) -> List[MultiTenantConfig]:
+        """The canonical scenario list (policies outermost, then tenant
+        counts, then seeds — the aggregation order of the contention
+        report)."""
+        cfgs: List[MultiTenantConfig] = []
+        for policy in self.policies:
+            for n in self.tenant_counts:
+                for trace in self.traces:
+                    for mw in self.middlewares:
+                        for seed in self.seeds:
+                            cfgs.append(MultiTenantConfig(
+                                trace=trace, middleware=mw, seed=seed,
+                                n_tenants=n, categories=self.categories,
+                                strategy=self.strategy,
+                                strategy_threshold=self.strategy_threshold,
+                                policy=policy,
+                                arrival_rate_per_hour=self
+                                .arrival_rate_per_hour,
+                                bot_size=self.bot_size,
+                                pool_fraction=self.pool_fraction_for(n),
+                                max_total_workers=self.worker_budget_for(n),
+                                deadline_factor=self.deadline_factor,
+                                horizon_days=self.horizon_days,
+                                provider=self.provider,
+                                max_nodes=self.max_nodes))
+        return cfgs
+
+
+AnySweep = Union[SweepSpec, MultiTenantSweepSpec]
+AnyConfig = Union[ExecutionConfig, MultiTenantConfig]
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A named bundle of sweeps executed as one campaign."""
+
+    name: str
+    sweeps: Tuple[AnySweep, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "sweeps", tuple(self.sweeps))
+        if not self.name:
+            raise ValueError("name must be non-empty")
+
+    def n_configs(self) -> int:
+        return sum(s.n_configs() for s in self.sweeps)
+
+    def expand(self) -> List[AnyConfig]:
+        """Concatenated expansion, sweep order preserved (duplicates
+        across sweeps are kept: the executor dedups by digest)."""
+        out: List[AnyConfig] = []
+        for sweep in self.sweeps:
+            out.extend(sweep.expand())
+        return out
+
+    def expand_unique(self) -> List[AnyConfig]:
+        """Expansion with exact duplicates removed (first kept)."""
+        seen = set()
+        out: List[AnyConfig] = []
+        for cfg in self.expand():
+            if cfg not in seen:
+                seen.add(cfg)
+                out.append(cfg)
+        return out

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Five subcommands cover the day-to-day uses of the reproduction:
+Six subcommands cover the day-to-day uses of the reproduction:
 
 * ``run``     — one BoT execution (optionally with SpeQuloS), printing
   the metrics the paper reports for it;
@@ -11,7 +11,11 @@ Five subcommands cover the day-to-day uses of the reproduction:
   per-tenant slowdown and fairness output;
 * ``report``  — regenerate any table/figure of the paper by name
   (``figure1`` .. ``figure7``, ``table1`` .. ``table5``,
-  ``ablation_*``, ``contention``);
+  ``ablation_*``, ``contention``); ``--jobs`` sizes the campaign
+  process pool and ``--no-cache`` bypasses the result store;
+* ``sweep``   — run an ad-hoc declarative campaign grid straight from
+  flags (comma-separated axes) through the sharded executor and the
+  content-addressed store, with per-config rows and store stats;
 * ``trace``   — synthesize a Table 2 trace and print its measured
   statistics, or export it to the FTA-style text format.
 """
@@ -75,6 +79,35 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("name", choices=_REPORTS)
     rep.add_argument("--save", action="store_true",
                      help="also write under benchmarks/results/")
+    _add_campaign_args(rep)
+
+    sweep = sub.add_parser(
+        "sweep", help="run an ad-hoc campaign grid from flags")
+    sweep.add_argument("--traces", default="seti",
+                       help="comma-separated trace names")
+    sweep.add_argument("--middlewares", default="boinc",
+                       help="comma-separated middleware names")
+    sweep.add_argument("--categories", default="SMALL",
+                       help="comma-separated BoT categories")
+    sweep.add_argument("--strategies", default="none",
+                       help="comma-separated combos; 'none' = no SpeQuloS")
+    sweep.add_argument("--seeds", default=None,
+                       help="comma-separated explicit seeds "
+                            "(default: stable per-environment slots)")
+    sweep.add_argument("--seed-slots", type=int, default=1,
+                       help="stable seed slots per environment")
+    sweep.add_argument("--seed-base", type=int, default=0,
+                       help="first stable-seed slot index")
+    sweep.add_argument("--thresholds", default="0.9",
+                       help="comma-separated trigger thresholds")
+    sweep.add_argument("--credit-fractions", default="0.10",
+                       help="comma-separated credit provisions")
+    sweep.add_argument("--bot-size", type=int, default=None,
+                       help="task-count override for every category")
+    sweep.add_argument("--horizon-days", type=float, default=15.0)
+    sweep.add_argument("--save", action="store_true",
+                       help="also write under benchmarks/results/")
+    _add_campaign_args(sweep)
 
     tr = sub.add_parser("trace", help="synthesize and inspect a trace")
     tr.add_argument("name", help="trace name (seti, nd, g5klyo, ...)")
@@ -84,6 +117,30 @@ def build_parser() -> argparse.ArgumentParser:
     tr.add_argument("--export", metavar="PATH", default=None,
                     help="write the trace in FTA-style text format")
     return parser
+
+
+def _add_campaign_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="campaign worker processes (default: REPRO_JOBS "
+                        "or machine-sized)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the content-addressed result store")
+
+
+def _apply_campaign_args(args) -> None:
+    from repro.campaign.executor import set_default_jobs
+    from repro.campaign.store import set_cache_enabled
+    if args.jobs is not None:
+        set_default_jobs(args.jobs)
+    if args.no_cache:
+        set_cache_enabled(False)
+
+
+def _print_store_stats() -> None:
+    from repro.campaign.store import current_store
+    store = current_store()
+    if store is not None:
+        print(f"[store] {store.stats.summary()} — {store.path}")
 
 
 def _add_env_args(p: argparse.ArgumentParser) -> None:
@@ -168,12 +225,66 @@ def _cmd_compare(args) -> int:
 
 
 def _cmd_report(args) -> int:
+    _apply_campaign_args(args)
     from repro.experiments import figures
     builder = getattr(figures, f"{args.name}_report")
     report = builder()
     print(report.render())
     if args.save:
         print(f"saved to {report.save()}")
+    _print_store_stats()
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    import sys as _sys
+    import time as _time
+
+    _apply_campaign_args(args)
+    from repro.campaign.progress import ProgressReporter
+    from repro.campaign.spec import SweepSpec
+    from repro.experiments.report import ExperimentReport, TextTable
+    from repro.experiments.runner import run_campaign
+
+    def _axis(text, conv=str):
+        return tuple(conv(v.strip()) for v in text.split(",") if v.strip())
+
+    strategies = tuple(None if s.lower() in ("none", "-") else s
+                       for s in _axis(args.strategies))
+    categories = _axis(args.categories)
+    spec = SweepSpec(
+        traces=_axis(args.traces), middlewares=_axis(args.middlewares),
+        categories=categories, strategies=strategies,
+        seeds=_axis(args.seeds, int) if args.seeds else None,
+        seed_slots=args.seed_slots, seed_base=args.seed_base,
+        thresholds=_axis(args.thresholds, float),
+        credit_fractions=_axis(args.credit_fractions, float),
+        bot_sizes=tuple((c, args.bot_size) for c in categories)
+        if args.bot_size is not None else None,
+        horizon_days=args.horizon_days)
+    configs = spec.expand()
+    wall0 = _time.perf_counter()
+    results = run_campaign(
+        configs, progress=ProgressReporter(len(configs), label="sweep",
+                                           stream=_sys.stderr))
+    wall = _time.perf_counter() - wall0
+
+    rep = ExperimentReport("Sweep", f"ad-hoc campaign, {len(configs)} "
+                                    f"configs in {wall:.1f}s")
+    table = TextTable(
+        "Per-config outcomes",
+        ["config", "makespan (s)", "slowdown", "censored", "credits %"])
+    for cfg, res in zip(configs, results):
+        table.add_row(cfg.label(), f"{res.makespan:.0f}",
+                      f"{res.slowdown:.2f}",
+                      "yes" if res.censored else "no",
+                      f"{res.credits_used_pct:.1f}"
+                      if res.credits_provisioned > 0 else "-")
+    rep.tables.append(table)
+    print(rep.render())
+    if args.save:
+        print(f"saved to {rep.save('sweep.txt')}")
+    _print_store_stats()
     return 0
 
 
@@ -203,7 +314,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {"run": _cmd_run, "compare": _cmd_compare,
                "multi": _cmd_multi, "report": _cmd_report,
-               "trace": _cmd_trace}[args.command]
+               "sweep": _cmd_sweep, "trace": _cmd_trace}[args.command]
     return handler(args)
 
 

@@ -12,8 +12,12 @@ same grid:
   paper's seeded simulator does;
 * :func:`run_execution` executes one configuration and returns an
   :class:`ExecutionResult` with everything the figures need;
-* :func:`run_campaign` fans configurations out over processes;
-* :mod:`repro.experiments.figures` rebuilds every table and figure.
+* :func:`run_campaign` fans configurations out through the campaign
+  engine (:mod:`repro.campaign`): results already in the
+  content-addressed store are reused, the rest are sharded over a
+  process pool and persisted;
+* :mod:`repro.experiments.figures` rebuilds every table and figure
+  from declarative :class:`~repro.campaign.spec.SweepSpec` grids.
 
 ``REPRO_SCALE=quick|full`` selects the campaign size (see
 :mod:`repro.experiments.config`).

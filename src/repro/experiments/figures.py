@@ -22,7 +22,6 @@ Campaign grids (scaled by :class:`~repro.experiments.config.CampaignScale`):
 from __future__ import annotations
 
 import math
-import zlib
 from collections import defaultdict
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -30,11 +29,17 @@ import numpy as np
 
 from repro.analysis.cdf import ccdf_at, histogram_fractions
 from repro.analysis.metrics import tail_removal_efficiency
+from repro.campaign.executor import run_cached
+from repro.campaign.spec import (
+    MultiTenantSweepSpec,
+    SweepSpec,
+    scaled_bot_sizes,
+)
 from repro.core.oracle import fit_alpha, prediction_success
 from repro.core.strategies import ALL_COMBOS
 from repro.experiments.config import CampaignScale, ExecutionConfig, get_scale
 from repro.experiments.report import ExperimentReport, Series, TextTable
-from repro.experiments.runner import ExecutionResult, run_campaign, run_execution
+from repro.experiments.runner import ExecutionResult, run_campaign
 from repro.infra.catalog import TRACE_NAMES, get_trace_spec, list_trace_specs
 from repro.infra.stats import measure_trace
 from repro.workload.categories import BOT_CATEGORIES
@@ -79,33 +84,23 @@ def _memoized(key: str, scale: CampaignScale, build):
 
 
 # ---------------------------------------------------------------------------
-# campaign grids
+# campaign sweeps (declarative grids; see repro.campaign.spec)
 # ---------------------------------------------------------------------------
-def _seed_for(trace: str, mw: str, cat: str, i: int) -> int:
-    """Stable seed per environment slot.
-
-    ``zlib.crc32`` rather than ``hash()``: the builtin's string hash
-    is salted per process (PYTHONHASHSEED), which silently drew fresh
-    campaign seeds on every run and made the saved figure outputs
-    unreproducible churn.
-    """
-    return zlib.crc32(f"{trace}/{mw}/{cat}/{i}".encode()) % (2 ** 31)
+def baseline_sweep(scale: CampaignScale,
+                   categories: Sequence[str] = CATEGORIES,
+                   traces: Sequence[str] = TRACE_NAMES) -> SweepSpec:
+    """Every trace x middleware x category, no SpeQuloS (Fig. 2, Tab. 1)."""
+    return SweepSpec(traces=tuple(traces), middlewares=MIDDLEWARE,
+                     categories=tuple(categories),
+                     seed_slots=scale.seeds_per_env,
+                     bot_sizes=scaled_bot_sizes(scale, categories))
 
 
 def baseline_grid(scale: CampaignScale,
                   categories: Sequence[str] = CATEGORIES,
                   traces: Sequence[str] = TRACE_NAMES,
                   ) -> List[ExecutionConfig]:
-    cfgs = []
-    for trace in traces:
-        for mw in MIDDLEWARE:
-            for cat in categories:
-                for i in range(scale.seeds_per_env):
-                    cfgs.append(ExecutionConfig(
-                        trace=trace, middleware=mw, category=cat,
-                        seed=_seed_for(trace, mw, cat, i),
-                        bot_size=scale.bot_size(cat)))
-    return cfgs
+    return baseline_sweep(scale, categories, traces).expand()
 
 
 def _run_baselines(scale: CampaignScale) -> List[ExecutionResult]:
@@ -113,36 +108,28 @@ def _run_baselines(scale: CampaignScale) -> List[ExecutionResult]:
                      lambda: run_campaign(baseline_grid(scale)))
 
 
-def _strategy_env_grid(scale: CampaignScale) -> List[ExecutionConfig]:
+def strategy_sweep(scale: CampaignScale) -> SweepSpec:
     """Environments for the 18-combination grid (Figures 4/5).
 
     Quick scale keeps SMALL and RANDOM (the classes where the tail
-    dominates, §4.3.1); full scale adds BIG as the paper does.
+    dominates, §4.3.1); full scale adds BIG as the paper does.  Slots
+    start at 1000 so the grid never shares seeds with the baseline
+    sweep.
     """
     cats = CATEGORIES if scale.size_factor >= 1.0 else ("SMALL", "RANDOM")
-    cfgs = []
-    for trace in TRACE_NAMES:
-        for mw in MIDDLEWARE:
-            for cat in cats:
-                for i in range(scale.seeds_strategy_grid):
-                    cfgs.append(ExecutionConfig(
-                        trace=trace, middleware=mw, category=cat,
-                        seed=_seed_for(trace, mw, cat, 1000 + i),
-                        bot_size=scale.bot_size(cat)))
-    return cfgs
+    return SweepSpec(middlewares=MIDDLEWARE, categories=cats,
+                     seed_slots=scale.seeds_strategy_grid, seed_base=1000,
+                     bot_sizes=scaled_bot_sizes(scale, cats))
 
 
 def _run_strategy_campaign(scale: CampaignScale) -> Tuple[
         List[ExecutionResult], Dict[str, List[ExecutionResult]]]:
     """(baselines, {combo name: paired results in baseline order})."""
     def build():
-        bases = _strategy_env_grid(scale)
         combos = [c.name for c in ALL_COMBOS]
-        everything = list(bases)
-        for name in combos:
-            everything.extend(b.with_strategy(name) for b in bases)
-        results = run_campaign(everything)
-        n = len(bases)
+        sweep = strategy_sweep(scale).with_strategies(None, *combos)
+        results = run_campaign(sweep.expand())
+        n = len(results) // (len(combos) + 1)
         base_res = results[:n]
         per_combo = {name: results[n * (k + 1): n * (k + 2)]
                      for k, name in enumerate(combos)}
@@ -154,10 +141,10 @@ def _run_headline_campaign(scale: CampaignScale) -> Tuple[
         List[ExecutionResult], List[ExecutionResult]]:
     """Paired (no SpeQuloS, 9C-C-R) over the full environment grid."""
     def build():
-        bases = baseline_grid(scale)
-        speq = [b.with_strategy(HEADLINE_COMBO) for b in bases]
-        results = run_campaign(bases + speq)
-        return results[:len(bases)], results[len(bases):]
+        sweep = baseline_sweep(scale).with_strategies(None, HEADLINE_COMBO)
+        results = run_campaign(sweep.expand())
+        n = len(results) // 2
+        return results[:n], results[n:]
     return _memoized("headline", scale, build)  # type: ignore[return-value]
 
 
@@ -170,7 +157,7 @@ def figure1_report(scale: Optional[CampaignScale] = None) -> ExperimentReport:
     scale = scale or get_scale()
     cfg = ExecutionConfig(trace="seti", middleware="boinc", category="SMALL",
                           seed=11, bot_size=scale.bot_size("SMALL"))
-    res = run_execution(cfg)
+    res = run_cached(cfg)
     profile = res.profile
     xs, ys = [], []
     for pct in range(1, 101):
@@ -529,8 +516,11 @@ def table4_report(scale: Optional[CampaignScale] = None,
 def table5_report(duration_days: float = 2.0, seed: int = 5,
                   n_bots: int = 12) -> ExperimentReport:
     from repro.deployment.edgi import EDGIDeployment
-    dep = EDGIDeployment(seed=seed)
-    summary = dep.run(duration_days=duration_days, n_bots=n_bots)
+    summary = run_cached(
+        {"experiment": "edgi_deployment", "duration_days": duration_days,
+         "seed": seed, "n_bots": n_bots},
+        compute=lambda: EDGIDeployment(seed=seed).run(
+            duration_days=duration_days, n_bots=n_bots))
     rep = ExperimentReport(
         "Table 5", "EDGI-style deployment: tasks executed per "
                    "infrastructure component")
@@ -561,7 +551,7 @@ def _ablation_bases(scale: CampaignScale, seed0: int
             cfg = ExecutionConfig(trace=trace, middleware=mw,
                                   category="SMALL", seed=s,
                                   bot_size=scale.bot_size("SMALL"))
-            out[(trace, mw, s)] = run_execution(cfg)
+            out[(trace, mw, s)] = run_cached(cfg)
     return out
 
 
@@ -581,7 +571,7 @@ def ablation_threshold_report(scale: Optional[CampaignScale] = None
     for thr in (0.80, 0.85, 0.90, 0.95):
         tres, spends = [], []
         for key, base in bases.items():
-            res = run_execution(
+            res = run_cached(
                 base.config.with_strategy(HEADLINE_COMBO, threshold=thr))
             if has_material_tail(base):
                 tres.append(tail_removal_efficiency(
@@ -610,8 +600,8 @@ def ablation_budget_report(scale: Optional[CampaignScale] = None
     for frac in (0.025, 0.05, 0.10, 0.20):
         tres, spent = [], []
         for key, base in bases.items():
-            res = run_execution(base.config.with_strategy(HEADLINE_COMBO)
-                                .with_credit_fraction(frac))
+            res = run_cached(base.config.with_strategy(HEADLINE_COMBO)
+                             .with_credit_fraction(frac))
             if has_material_tail(base):
                 tres.append(tail_removal_efficiency(
                     base.makespan, res.makespan, base.ideal_time))
@@ -638,12 +628,21 @@ def contention_report(scale: Optional[CampaignScale] = None,
     ``fairshare`` and ``deadline`` arbitration.
     """
     from repro.core.scheduler import ARBITRATION_POLICIES
-    from repro.experiments.config import MultiTenantConfig
-    from repro.experiments.runner import run_multi_tenant
     scale = scale or get_scale()
     tenant_counts = (1, 2, 4, 8) if scale.size_factor < 1.0 \
         else (1, 2, 4, 8, 16, 32, 64)
     seeds = [6000 + i for i in range(max(2, scale.seeds_per_env - 1))]
+    sweep = MultiTenantSweepSpec(
+        traces=(trace,), middlewares=(middleware,),
+        policies=ARBITRATION_POLICIES, tenant_counts=tenant_counts,
+        seeds=tuple(seeds), bot_size=40, strategy="9C-C-D",
+        pool_fraction=0.05, pool_scaling="per-tenant",
+        worker_budget=8, worker_budget_scaling="at-least-tenants",
+        deadline_factor=0.5)
+    cfgs = sweep.expand()
+    # key by scenario axes rather than relying on expansion order
+    by_axes = {(c.policy, c.n_tenants, c.seed): r
+               for c, r in zip(cfgs, run_campaign(cfgs))}
     rep = ExperimentReport(
         "Contention", "Per-tenant slowdown and fairness under concurrent "
                       f"QoS runs ({trace}/{middleware}, shared pool)")
@@ -655,16 +654,11 @@ def contention_report(scale: Optional[CampaignScale] = None,
              "N tenants share 1/N of the single-tenant provision each; "
              "fairshare trades a little mean slowdown for a much "
              "tighter spread once the pool is contended")
-    for policy in ARBITRATION_POLICIES:
-        for n in tenant_counts:
+    for policy in sweep.policies:
+        for n in sweep.tenant_counts:
             slows, spreads, jains, spents, cens = [], [], [], [], 0
-            for seed in seeds:
-                cfg = MultiTenantConfig(
-                    trace=trace, middleware=middleware, seed=seed,
-                    n_tenants=n, bot_size=40, strategy="9C-C-D",
-                    policy=policy, max_total_workers=max(8, n),
-                    pool_fraction=0.05 / n, deadline_factor=0.5)
-                res = run_multi_tenant(cfg)
+            for seed in sweep.seeds:
+                res = by_axes[(policy, n, seed)]
                 slows.append(float(np.mean(res.slowdowns)))
                 spreads.append(res.slowdown_spread)
                 jains.append(res.fairness)
@@ -697,13 +691,18 @@ def ablation_middleware_report(scale: Optional[CampaignScale] = None
         note="BOINC's day-long delay_bound is the root of its 10x tails "
              "(§2.2); XWHEP's 900s detection keeps tails shorter")
     seeds = [4000 + i for i in range(max(2, scale.seeds_per_env - 1))]
+    # the timeout knobs live outside ExecutionConfig, so they enter the
+    # store digest through run_cached's extra-parameters key
     for db in (21600.0, 86400.0, 172800.0):
         slows = []
         for s in seeds:
             cfg = ExecutionConfig(trace="seti", middleware="boinc",
                                   category="SMALL", seed=s,
                                   bot_size=scale.bot_size("SMALL"))
-            res = run_execution_with_middleware(cfg, delay_bound=db)
+            res = run_cached(
+                cfg, extra={"delay_bound": db},
+                compute=lambda: run_execution_with_middleware(
+                    cfg, delay_bound=db))
             slows.append(res.slowdown)
         table.add_row("boinc", "delay_bound", f"{db:.0f}",
                       f"{float(np.mean(slows)):.2f}")
@@ -713,7 +712,10 @@ def ablation_middleware_report(scale: Optional[CampaignScale] = None
             cfg = ExecutionConfig(trace="g5klyo", middleware="xwhep",
                                   category="SMALL", seed=s,
                                   bot_size=scale.bot_size("SMALL"))
-            res = run_execution_with_middleware(cfg, worker_timeout=wt)
+            res = run_cached(
+                cfg, extra={"worker_timeout": wt},
+                compute=lambda: run_execution_with_middleware(
+                    cfg, worker_timeout=wt))
             slows.append(res.slowdown)
         table.add_row("xwhep", "worker_timeout", f"{wt:.0f}",
                       f"{float(np.mean(slows)):.2f}")

@@ -439,34 +439,23 @@ def run_execution_with_middleware(cfg: ExecutionConfig,
 
 
 # ---------------------------------------------------------------------------
-def run_campaign(configs: Sequence[ExecutionConfig],
-                 n_jobs: Optional[int] = None) -> List[ExecutionResult]:
-    """Run many executions, optionally across processes.
+def run_campaign(configs: Sequence[object], n_jobs: Optional[int] = None,
+                 store: object = "default",
+                 progress: Optional[object] = None) -> List[object]:
+    """Run many executions through the campaign engine.
 
-    Results come back in input order.  ``n_jobs=None`` picks a
-    process count from the machine (1 disables multiprocessing, which
-    is also the fallback when the pool cannot start).
+    Thin wrapper over
+    :class:`~repro.campaign.executor.CampaignExecutor`: configs already
+    in the content-addressed store are answered from it, the rest are
+    sharded by trace realization over a process pool (falling back to
+    serial execution if the pool cannot start or breaks mid-run), and
+    every finished result is persisted so interrupted campaigns resume.
+
+    Accepts :class:`ExecutionConfig` and :class:`MultiTenantConfig`
+    entries (mixed freely); results come back in input order.
+    ``n_jobs=None`` defers to ``REPRO_JOBS`` / the machine size;
+    ``store=None`` bypasses caching.
     """
-    configs = list(configs)
-    if n_jobs is None:
-        import os
-        n_jobs = max(1, min(8, (os.cpu_count() or 2) - 1))
-    if n_jobs <= 1 or len(configs) < 4:
-        return [run_execution(c) for c in configs]
-    try:
-        from concurrent.futures import ProcessPoolExecutor
-        # Sort so executions sharing a trace realization land in the
-        # same worker often enough for the cache to help; restore order
-        # afterwards.
-        order = sorted(range(len(configs)),
-                       key=lambda i: (configs[i].trace, configs[i].seed))
-        chunk = max(1, len(configs) // (n_jobs * 4))
-        with ProcessPoolExecutor(max_workers=n_jobs) as pool:
-            shuffled = [configs[i] for i in order]
-            done = list(pool.map(run_execution, shuffled, chunksize=chunk))
-        results: List[Optional[ExecutionResult]] = [None] * len(configs)
-        for pos, res in zip(order, done):
-            results[pos] = res
-        return results  # type: ignore[return-value]
-    except (OSError, ImportError):  # pragma: no cover - env dependent
-        return [run_execution(c) for c in configs]
+    from repro.campaign.executor import CampaignExecutor
+    return CampaignExecutor(store=store, n_jobs=n_jobs,
+                            progress=progress).run(configs)

@@ -1,0 +1,217 @@
+"""Sharded executor: caching, determinism, crash fallback, resume."""
+
+import concurrent.futures
+from concurrent.futures.process import BrokenProcessPool
+
+import pytest
+
+import repro.campaign.executor as executor_mod
+from repro.campaign.executor import (
+    CampaignExecutor,
+    default_jobs,
+    run_cached,
+    set_default_jobs,
+)
+from repro.campaign.store import ResultStore, comparable_payload, \
+    encode_result
+from repro.experiments.config import ExecutionConfig
+from repro.experiments.runner import run_campaign
+
+
+def quick_cfg(**kw):
+    base = dict(trace="nd", middleware="xwhep", category="SMALL",
+                seed=5, bot_size=40)
+    base.update(kw)
+    return ExecutionConfig(**base)
+
+
+def grid(n=4):
+    return [quick_cfg(seed=s) for s in range(1, n + 1)]
+
+
+def counting_run_one(monkeypatch):
+    calls = []
+    real = executor_mod._run_one
+
+    def spy(cfg):
+        calls.append(cfg)
+        return real(cfg)
+
+    monkeypatch.setattr(executor_mod, "_run_one", spy)
+    return calls
+
+
+# ------------------------------------------------------------------- jobs
+def test_default_jobs_env_and_override(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "3")
+    assert default_jobs() == 3
+    set_default_jobs(5)
+    try:
+        assert default_jobs() == 5
+    finally:
+        set_default_jobs(None)
+    assert default_jobs() == 3
+
+
+# ---------------------------------------------------------------- caching
+def test_executor_dedups_identical_configs(monkeypatch):
+    calls = counting_run_one(monkeypatch)
+    cfg = quick_cfg()
+    results = CampaignExecutor(store=None, n_jobs=1).run([cfg, cfg, cfg])
+    assert len(calls) == 1
+    assert len(results) == 3
+    assert results[0] is results[1] is results[2]
+
+
+def test_executor_stores_misses_and_serves_hits(monkeypatch):
+    store = ResultStore(":memory:")
+    cfgs = grid(3)
+    first = CampaignExecutor(store=store, n_jobs=1).run(cfgs)
+    assert store.stats.misses == 3 and store.stats.puts == 3
+
+    calls = counting_run_one(monkeypatch)
+    again = CampaignExecutor(store=store, n_jobs=1).run(cfgs)
+    assert calls == []  # zero new simulations on a warm store
+    assert store.stats.hits == 3
+    assert [r.makespan for r in again] == [r.makespan for r in first]
+
+
+def test_interrupted_campaign_resumes_with_hits(monkeypatch):
+    """Completed work persists, so a resumed campaign only simulates
+    what the interruption left unfinished."""
+    store = ResultStore(":memory:")
+    cfgs = grid(4)
+    # the "interrupted" first attempt finished half the campaign
+    CampaignExecutor(store=store, n_jobs=1).run(cfgs[:2])
+    store.stats = type(store.stats)()  # fresh accounting for the resume
+    calls = counting_run_one(monkeypatch)
+    results = CampaignExecutor(store=store, n_jobs=1).run(cfgs)
+    assert store.stats.hits == 2 and store.stats.misses == 2
+    assert [c.seed for c in calls] == [3, 4]
+    assert len(results) == 4
+    # a second resume needs no simulation at all: 100% hits
+    calls.clear()
+    CampaignExecutor(store=store, n_jobs=1).run(cfgs)
+    assert calls == []
+
+
+def test_run_campaign_wrapper_accepts_store_none(monkeypatch):
+    calls = counting_run_one(monkeypatch)
+    results = run_campaign(grid(2), n_jobs=1, store=None)
+    assert len(calls) == 2 and len(results) == 2
+
+
+# ----------------------------------------------------- serial == parallel
+@pytest.mark.slow
+def test_serial_and_parallel_records_are_bit_identical():
+    cfgs = [quick_cfg(seed=s, strategy=st)
+            for s in (1, 2) for st in (None, "9C-C-R")]
+    serial_store = ResultStore(":memory:")
+    parallel_store = ResultStore(":memory:")
+    serial = CampaignExecutor(store=serial_store, n_jobs=1).run(cfgs)
+    parallel = CampaignExecutor(store=parallel_store, n_jobs=2).run(cfgs)
+    for cfg, a, b in zip(cfgs, serial, parallel):
+        pa, pb = encode_result(a)[1], encode_result(b)[1]
+        assert comparable_payload(pa) == comparable_payload(pb), cfg.label()
+    assert parallel_store.mode_of(cfgs[0]) == "parallel"
+    assert serial_store.mode_of(cfgs[0]) == "serial"
+
+
+# -------------------------------------------------------- crash resilience
+class _FakePool:
+    """Stand-in pool whose workers 'crash' for selected shards."""
+
+    #: shard indices that complete before the pool breaks
+    complete_first = 0
+
+    def __init__(self, max_workers=None):
+        self._submitted = 0
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def submit(self, fn, *args):
+        fut = concurrent.futures.Future()
+        if self._submitted < self.complete_first:
+            fut.set_result(fn(*args))
+        else:
+            fut.set_exception(BrokenProcessPool("worker died"))
+        self._submitted += 1
+        return fut
+
+
+def test_oversized_realization_groups_split_into_chunks(monkeypatch):
+    """Many configs over one trace realization (a contention sweep)
+    must still fan out across all workers, not serialize on one."""
+
+    class RecordingPool(_FakePool):
+        complete_first = 10 ** 9  # never break; run shards inline
+        sizes = []
+
+        def submit(self, fn, *args):
+            RecordingPool.sizes.append(len(args[0]))
+            return super().submit(fn, *args)
+
+    monkeypatch.setattr(concurrent.futures, "ProcessPoolExecutor",
+                        RecordingPool)
+    # 8 variants of ONE (trace, seed) realization
+    cfgs = [quick_cfg(strategy=st, strategy_threshold=thr)
+            for st in (None, "9C-C-R") for thr in (0.8, 0.85, 0.9, 0.95)]
+    results = CampaignExecutor(store=None, n_jobs=2).run(cfgs)
+    assert len(results) == 8
+    assert len(RecordingPool.sizes) == 8  # ceil(8 / (2*4)) = 1 per shard
+    assert all(s == 1 for s in RecordingPool.sizes)
+
+
+def test_broken_pool_mid_run_falls_back_to_serial(monkeypatch):
+    monkeypatch.setattr(concurrent.futures, "ProcessPoolExecutor",
+                        _FakePool)
+    store = ResultStore(":memory:")
+    cfgs = grid(4)
+    with pytest.warns(RuntimeWarning, match="finishing 4 remaining"):
+        results = CampaignExecutor(store=store, n_jobs=2).run(cfgs)
+    assert len(results) == 4
+    assert all(store.mode_of(c) == "serial" for c in cfgs)
+    # the fallback results match a plain serial run exactly
+    redo = CampaignExecutor(store=None, n_jobs=1).run(cfgs)
+    assert [r.makespan for r in results] == [r.makespan for r in redo]
+
+
+def test_broken_pool_keeps_already_finished_shards(monkeypatch):
+    class OneShardSurvives(_FakePool):
+        complete_first = 1
+
+    monkeypatch.setattr(concurrent.futures, "ProcessPoolExecutor",
+                        OneShardSurvives)
+    store = ResultStore(":memory:")
+    cfgs = grid(4)
+    with pytest.warns(RuntimeWarning, match="broke mid-run"):
+        results = CampaignExecutor(store=store, n_jobs=2).run(cfgs)
+    assert len(results) == 4
+    modes = {store.mode_of(c) for c in cfgs}
+    assert modes == {"parallel", "serial"}
+
+
+# --------------------------------------------------------------- run_cached
+def test_run_cached_config_and_extra(monkeypatch):
+    store = ResultStore(":memory:")
+    cfg = quick_cfg()
+    a = run_cached(cfg, store=store)
+    b = run_cached(cfg, store=store)
+    assert encode_result(a) == encode_result(b)
+    assert store.stats.misses == 1 and store.stats.hits == 1
+    # a different extra key is a different record
+    run_cached(cfg, extra={"delay_bound": 60.0}, store=store,
+               compute=lambda: executor_mod._run_one(cfg))
+    assert store.stats.misses == 2
+
+
+def test_run_cached_dict_key_requires_compute():
+    with pytest.raises(TypeError):
+        run_cached({"experiment": "x"}, store=None)
+    out = run_cached({"experiment": "x"}, compute=lambda: {"n": 1},
+                     store=ResultStore(":memory:"))
+    assert out == {"n": 1}

@@ -1,0 +1,74 @@
+"""Progress reporting: tick counting, throttling, ETA math."""
+
+import io
+
+from repro.campaign.progress import ProgressReporter, format_duration
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+def make(total=10, min_interval=5.0):
+    clock = FakeClock()
+    stream = io.StringIO()
+    rep = ProgressReporter(total, label="sweep", stream=stream,
+                           min_interval=min_interval, clock=clock)
+    return rep, clock, stream
+
+
+def test_format_duration():
+    assert format_duration(42.4) == "42s"
+    assert format_duration(192) == "3m12s"
+    assert format_duration(2 * 3600 + 5 * 60) == "2h05m"
+    assert format_duration(-3.0) == "0s"
+
+
+def test_eta_extrapolates_throughput():
+    rep, clock, _ = make(total=10)
+    assert rep.eta() is None  # nothing done yet
+    clock.t = 20.0
+    rep.done = 4
+    assert rep.eta() == 30.0  # 5 s/unit x 6 remaining
+
+
+def test_tick_emits_first_then_throttles():
+    rep, clock, stream = make(total=4, min_interval=5.0)
+    rep.tick()                    # first tick always emits
+    clock.t = 1.0
+    rep.tick()                    # within interval: silent
+    lines = stream.getvalue().splitlines()
+    assert len(lines) == 1
+    assert lines[0].startswith("sweep: 1/4 (25%)")
+    clock.t = 7.0
+    rep.tick()                    # interval elapsed: emits with ETA
+    lines = stream.getvalue().splitlines()
+    assert len(lines) == 2
+    assert "elapsed 7s" in lines[1] and "eta" in lines[1]
+
+
+def test_completion_always_emits():
+    rep, clock, stream = make(total=2, min_interval=1e9)
+    rep.tick()
+    rep.tick()                    # reaching total bypasses throttling
+    lines = stream.getvalue().splitlines()
+    assert lines[-1].startswith("sweep: 2/2 (100%)")
+    assert "eta" not in lines[-1]
+
+
+def test_bulk_fast_forward_and_finish():
+    rep, clock, stream = make(total=8, min_interval=1e9)
+    rep.tick(5)                   # cache hits land as one bulk tick
+    assert rep.done == 5
+    rep.finish()                  # aborted sweep: force a closing line
+    assert stream.getvalue().splitlines()[-1].startswith("sweep: 5/8")
+
+
+def test_zero_total_is_all_done():
+    rep, _, stream = make(total=0)
+    rep.finish()
+    assert "0/0 (100%)" in stream.getvalue()

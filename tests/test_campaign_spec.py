@@ -1,0 +1,185 @@
+"""Declarative sweep specs: expansion, canonical order, hashability."""
+
+import zlib
+
+import pytest
+
+from repro.campaign.spec import (
+    CampaignSpec,
+    MultiTenantSweepSpec,
+    SweepSpec,
+    scaled_bot_sizes,
+    stable_seed,
+)
+from repro.core.strategies import ALL_COMBOS
+from repro.experiments.config import SCALES, ExecutionConfig
+from repro.experiments import figures
+
+
+# ------------------------------------------------------------------- seeds
+def test_stable_seed_is_crc32_of_env_slot():
+    expected = zlib.crc32(b"seti/boinc/SMALL/3") % (2 ** 31)
+    assert stable_seed("seti", "boinc", "SMALL", 3) == expected
+    # process-independent: same inputs, same seed, always
+    assert stable_seed("seti", "boinc", "SMALL", 3) == expected
+
+
+# ------------------------------------------------------------------- sweep
+def tiny_sweep(**kw):
+    base = dict(traces=("nd",), middlewares=("xwhep",),
+                categories=("SMALL",), seed_slots=2)
+    base.update(kw)
+    return SweepSpec(**base)
+
+
+def test_sweep_counts_and_types():
+    s = tiny_sweep(strategies=(None, "9C-C-R"), thresholds=(0.8, 0.9))
+    assert s.n_configs() == 2 * 2 * 2
+    cfgs = s.expand()
+    assert len(cfgs) == s.n_configs()
+    assert all(isinstance(c, ExecutionConfig) for c in cfgs)
+
+
+def test_sweep_strategies_are_outermost_axis():
+    s = tiny_sweep(strategies=(None, "9C-C-R"))
+    cfgs = s.expand()
+    assert [c.strategy for c in cfgs] == [None, None, "9C-C-R", "9C-C-R"]
+    # within a block the environment order repeats exactly
+    assert [c.seed for c in cfgs[:2]] == [c.seed for c in cfgs[2:]]
+
+
+def test_sweep_explicit_seeds_win_over_slots():
+    s = tiny_sweep(seeds=(7, 8, 9), seed_slots=5)
+    assert [c.seed for c in s.expand()] == [7, 8, 9]
+
+
+def test_sweep_bot_sizes_apply_per_category():
+    s = SweepSpec(traces=("nd",), middlewares=("xwhep",),
+                  categories=("SMALL", "BIG"),
+                  bot_sizes=(("SMALL", 40),))
+    by_cat = {c.category: c.bot_size for c in s.expand()}
+    assert by_cat == {"SMALL": 40, "BIG": None}
+
+
+def test_sweep_is_hashable_and_canonical():
+    a = tiny_sweep()
+    b = SweepSpec(traces=["nd"], middlewares=["xwhep"],
+                  categories=["SMALL"], seed_slots=2)  # lists normalize
+    assert a == b and hash(a) == hash(b)
+    assert a.expand() == b.expand()
+    assert {a: "ok"}[b] == "ok"
+
+
+def test_sweep_baselines_canonicalize_strategy_axes():
+    """Threshold/credit sweeps must not multiply physically identical
+    no-SpeQuloS runs into distinct configs (and store digests)."""
+    s = tiny_sweep(strategies=(None, "9C-C-R"),
+                   thresholds=(0.8, 0.9), credit_fractions=(0.05, 0.10))
+    cfgs = s.expand()
+    bases = [c for c in cfgs if c.strategy is None]
+    speq = [c for c in cfgs if c.strategy is not None]
+    assert all(c.strategy_threshold == 0.9 and c.credit_fraction == 0.10
+               for c in bases)
+    # per seed: 4 equal baseline grid points, 4 distinct SpeQuloS ones
+    assert len(bases) == 8 and len(set(bases)) == 2
+    assert len(set(speq)) == 8
+
+
+def test_sweep_validation():
+    with pytest.raises(ValueError):
+        tiny_sweep(traces=())
+    with pytest.raises(ValueError):
+        tiny_sweep(seed_slots=0)
+    with pytest.raises(ValueError):
+        tiny_sweep(seeds=())
+
+
+# ------------------------------------------ equivalence with legacy grids
+def test_baseline_grid_matches_hand_rolled_loop():
+    scale = SCALES["quick"]
+    expected = []
+    for trace in ("seti", "nd"):
+        for mw in ("boinc", "xwhep"):
+            for cat in ("SMALL", "RANDOM"):
+                for i in range(scale.seeds_per_env):
+                    expected.append(ExecutionConfig(
+                        trace=trace, middleware=mw, category=cat,
+                        seed=stable_seed(trace, mw, cat, i),
+                        bot_size=scale.bot_size(cat)))
+    got = figures.baseline_grid(scale, categories=("SMALL", "RANDOM"),
+                                traces=("seti", "nd"))
+    assert got == expected
+
+
+def test_strategy_sweep_matches_legacy_block_layout():
+    """Bases first, then one block per combo in ALL_COMBOS order —
+    the slicing contract of _run_strategy_campaign."""
+    scale = SCALES["quick"]
+    combos = [c.name for c in ALL_COMBOS]
+    sweep = figures.strategy_sweep(scale).with_strategies(None, *combos)
+    cfgs = sweep.expand()
+    bases = figures.strategy_sweep(scale).expand()
+    n = len(bases)
+    assert len(cfgs) == n * (len(combos) + 1)
+    assert cfgs[:n] == bases
+    for k, name in enumerate(combos):
+        block = cfgs[n * (k + 1): n * (k + 2)]
+        assert block == [b.with_strategy(name) for b in bases]
+
+
+# ------------------------------------------------------------ multi-tenant
+def test_multi_tenant_sweep_order_and_scaling():
+    s = MultiTenantSweepSpec(
+        traces=("seti",), middlewares=("boinc",),
+        policies=("fifo", "fairshare"), tenant_counts=(1, 4),
+        seeds=(1, 2), bot_size=40, pool_fraction=0.05,
+        pool_scaling="per-tenant", worker_budget=8,
+        worker_budget_scaling="at-least-tenants", deadline_factor=0.5)
+    cfgs = s.expand()
+    assert len(cfgs) == s.n_configs() == 2 * 2 * 2
+    # policies outermost, then tenant counts, then seeds
+    assert [(c.policy, c.n_tenants, c.seed) for c in cfgs] == [
+        ("fifo", 1, 1), ("fifo", 1, 2), ("fifo", 4, 1), ("fifo", 4, 2),
+        ("fairshare", 1, 1), ("fairshare", 1, 2),
+        ("fairshare", 4, 1), ("fairshare", 4, 2)]
+    one = cfgs[0]
+    four = cfgs[2]
+    assert one.pool_fraction == pytest.approx(0.05)
+    assert four.pool_fraction == pytest.approx(0.05 / 4)
+    assert one.max_total_workers == 8
+    # budget never drops below the tenant count
+    s16 = MultiTenantSweepSpec(tenant_counts=(16,), worker_budget=8,
+                               worker_budget_scaling="at-least-tenants")
+    assert s16.expand()[0].max_total_workers == 16
+
+
+def test_multi_tenant_sweep_validation():
+    with pytest.raises(ValueError):
+        MultiTenantSweepSpec(pool_scaling="inverse-square")
+    with pytest.raises(ValueError):
+        MultiTenantSweepSpec(worker_budget_scaling="whatever")
+    with pytest.raises(ValueError):
+        MultiTenantSweepSpec(policies=())
+
+
+# ---------------------------------------------------------------- campaign
+def test_campaign_spec_bundles_sweeps():
+    a = tiny_sweep()
+    b = tiny_sweep(strategies=("9C-C-R",))
+    camp = CampaignSpec(name="demo", sweeps=(a, b))
+    assert camp.n_configs() == a.n_configs() + b.n_configs()
+    assert camp.expand() == a.expand() + b.expand()
+
+
+def test_campaign_spec_expand_unique_drops_duplicates():
+    a = tiny_sweep()
+    camp = CampaignSpec(name="dup", sweeps=(a, a))
+    assert len(camp.expand()) == 2 * a.n_configs()
+    assert camp.expand_unique() == a.expand()
+
+
+def test_scaled_bot_sizes_helper():
+    scale = SCALES["quick"]
+    pairs = scaled_bot_sizes(scale, ("SMALL", "BIG"))
+    assert pairs == (("SMALL", scale.bot_size("SMALL")),
+                     ("BIG", scale.bot_size("BIG")))

@@ -1,0 +1,77 @@
+"""CLI campaign surface: ``repro sweep`` and the report cache flags."""
+
+import pytest
+
+from repro.campaign.store import ResultStore, set_cache_enabled, \
+    set_default_store
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def fresh_store():
+    """Route the process-wide store at a throwaway in-memory one and
+    undo every process-global the CLI flags may set."""
+    import repro.campaign.store as store_mod
+    from repro.campaign.executor import set_default_jobs
+    was_enabled = store_mod._cache_enabled
+    store = ResultStore(":memory:")
+    previous = set_default_store(store)
+    set_cache_enabled(True)
+    yield store
+    set_default_store(previous)
+    set_cache_enabled(was_enabled)
+    set_default_jobs(None)
+
+
+def sweep_args(*extra):
+    return ["sweep", "--traces", "nd", "--middlewares", "xwhep",
+            "--categories", "SMALL", "--strategies", "none,9C-C-R",
+            "--seeds", "1,2", "--bot-size", "40", *extra]
+
+
+def test_cli_sweep_runs_grid_and_reports_store(capsys, fresh_store):
+    rc = main(sweep_args())
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "nd/xwhep/SMALL/nospeq/s1" in out
+    assert "nd/xwhep/SMALL/9C-C-R/s2" in out
+    assert "4 misses" in out
+    assert len(fresh_store) == 4
+
+    # warm re-run: the whole grid comes from the store
+    fresh_store.stats = type(fresh_store.stats)()
+    main(sweep_args())
+    out = capsys.readouterr().out
+    assert "4 hits, 0 misses" in out
+
+
+def test_cli_sweep_no_cache_bypasses_store(capsys, fresh_store):
+    rc = main(sweep_args("--no-cache", "--jobs", "1"))
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "[store]" not in out
+    assert len(fresh_store) == 0
+
+
+def test_cli_sweep_seed_slots_default():
+    args = build_parser().parse_args(
+        ["sweep", "--traces", "nd", "--seed-slots", "2",
+         "--seed-base", "1000"])
+    assert args.seed_slots == 2 and args.seed_base == 1000
+    assert args.jobs is None and not args.no_cache
+
+
+def test_cli_report_accepts_campaign_flags(capsys, fresh_store):
+    rc = main(["report", "table3", "--jobs", "1", "--no-cache"])
+    assert rc == 0
+    assert "BoT categories" in capsys.readouterr().out
+
+
+def test_cli_report_prints_store_stats_when_cached(capsys, fresh_store):
+    rc = main(["report", "figure1"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "[store]" in out and "1 misses" in out
+    fresh_store.stats = type(fresh_store.stats)()
+    main(["report", "figure1"])
+    assert "1 hits, 0 misses" in capsys.readouterr().out

@@ -94,8 +94,11 @@ def test_all_18_combos_complete_on_one_env():
     from repro.core.strategies import ALL_COMBOS
     base = cfg("nd", "xwhep", 41, size=80)
     baseline = run_execution(base)
+    # store=None: this asserts *simulation* behavior, so it must never
+    # be answered from a stale persistent campaign store
     results = run_campaign(
-        [base.with_strategy(c.name) for c in ALL_COMBOS], n_jobs=1)
+        [base.with_strategy(c.name) for c in ALL_COMBOS], n_jobs=1,
+        store=None)
     for res in results:
         assert not res.censored
         assert res.makespan <= baseline.makespan * 1.05

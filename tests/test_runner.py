@@ -130,16 +130,18 @@ def test_boinc_delay_bound_override():
 
 
 def test_campaign_serial_matches_individual():
+    # store=None: exercise raw execution, not the campaign cache
     cfgs = [quick_cfg(seed=s) for s in (1, 2, 3)]
-    serial = run_campaign(cfgs, n_jobs=1)
+    serial = run_campaign(cfgs, n_jobs=1, store=None)
     assert [r.makespan for r in serial] == \
         [run_execution(c).makespan for c in cfgs]
 
 
 def test_campaign_parallel_order_and_determinism():
+    # store=None so the parallel run genuinely fans out over the pool
     cfgs = [quick_cfg(seed=s) for s in range(8)]
-    serial = run_campaign(cfgs, n_jobs=1)
-    parallel = run_campaign(cfgs, n_jobs=2)
+    serial = run_campaign(cfgs, n_jobs=1, store=None)
+    parallel = run_campaign(cfgs, n_jobs=2, store=None)
     assert [r.makespan for r in serial] == [r.makespan for r in parallel]
     assert [r.config.seed for r in parallel] == list(range(8))
 
