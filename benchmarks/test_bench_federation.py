@@ -1,0 +1,20 @@
+"""Federation sweep — slowdown & pool usage vs DCI count and routing."""
+
+import numpy as np
+
+from repro.experiments import figures, run_campaign
+
+
+def test_federation(run_report, scale):
+    run_report(figures.federation_report)
+    # the ISSUE acceptance criterion, answered from the store the
+    # report just warmed: on the reference two-DCI scenario,
+    # least_loaded routing beats round_robin on the max/min per-tenant
+    # slowdown spread
+    sweep = figures.federation_sweep(scale)
+    cfgs = [c for c in sweep.expand() if len(c.dcis) == 2]
+    by_routing = {}
+    for cfg, res in zip(cfgs, run_campaign(cfgs)):
+        by_routing.setdefault(cfg.routing, []).append(res.slowdown_spread)
+    assert float(np.mean(by_routing["least_loaded"])) < \
+        float(np.mean(by_routing["round_robin"]))

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""One SpeQuloS over many DCIs and clouds (§5, Figure 8).
+
+The paper's headline deployment runs a single SpeQuloS instance over
+several best-effort DCIs, each backed by its own cloud.  This example
+builds that situation declaratively: a heterogeneous two-DCI
+federation — a huge volatile BOINC desktop grid next to a 10-node
+XtremWeb lab grid — serving eight tenants' BoTs from one credit pool
+under one global cloud-worker budget, and compares blind round-robin
+routing against live-load routing.
+
+Run:  python examples/federated_scenario.py
+"""
+
+from repro.experiments import DCISpec, ScenarioConfig, run_federated
+
+
+def scenario(routing: str) -> ScenarioConfig:
+    return ScenarioConfig(
+        dcis=(DCISpec(trace="seti", middleware="boinc"),
+              DCISpec(trace="nd", middleware="xwhep", max_nodes=10)),
+        seed=6001, n_tenants=8, bot_size=100, strategy="9C-C-R",
+        routing=routing, policy="fairshare",
+        max_total_workers=8, pool_fraction=0.02,
+        arrival_rate_per_hour=2.0, deadline_factor=0.5,
+        horizon_days=2.0)
+
+
+def main() -> None:
+    print("federating a huge desktop grid (seti/boinc) with a 10-node "
+          "lab grid (nd/xwhep)\nunder one SpeQuloS, one credit pool and "
+          "an 8-worker cloud budget...\n")
+    for routing in ("round_robin", "least_loaded"):
+        res = run_federated(scenario(routing))
+        split = " + ".join(f"{d.tenants_assigned} on {d.name}"
+                           for d in res.dcis)
+        print(f"{routing:>12s}: tenants {split}")
+        print(f"{'':>12s}  max/min slowdown spread "
+              f"{res.slowdown_spread:.2f}, jain {res.fairness:.3f}, "
+              f"pool spent {res.pool_used_pct:.0f} %, "
+              f"peak cloud workers {res.workers_peak}")
+    print("\nlive-load routing diverts BoTs off the saturated 10-node "
+          "grid, so the\nworst-served tenant fares closer to the "
+          "best-served one — the cross-DCI\narbitration the EDGI "
+          "deployment implies but the paper never measures.")
+
+
+if __name__ == "__main__":
+    main()

@@ -12,7 +12,6 @@ executions — the paper's Table 4 protocol.
 Run:  python examples/prediction_service.py
 """
 
-import numpy as np
 
 from repro.core.info import InformationModule
 from repro.core.oracle import fit_alpha, prediction_success

@@ -6,8 +6,9 @@ this package is the reproduction's single execution substrate for such
 sweeps:
 
 * :mod:`repro.campaign.spec` — declarative :class:`SweepSpec` /
-  :class:`MultiTenantSweepSpec` / :class:`CampaignSpec` grids that
-  expand to canonical, hashable config lists;
+  :class:`MultiTenantSweepSpec` / :class:`FederatedSweepSpec` /
+  :class:`CampaignSpec` grids that expand to canonical, hashable
+  config lists;
 * :mod:`repro.campaign.store` — a content-addressed on-disk
   :class:`ResultStore` (stdlib SQLite) keyed by a stable digest of the
   config plus a code-version salt, with hit/miss stats and
@@ -33,6 +34,7 @@ from repro.campaign.executor import (
 from repro.campaign.progress import ProgressReporter
 from repro.campaign.spec import (
     CampaignSpec,
+    FederatedSweepSpec,
     MultiTenantSweepSpec,
     SweepSpec,
     stable_seed,
@@ -52,6 +54,7 @@ __all__ = [
     "CampaignExecutor",
     "CampaignSpec",
     "CODE_VERSION",
+    "FederatedSweepSpec",
     "MultiTenantSweepSpec",
     "ProgressReporter",
     "ResultStore",

@@ -32,13 +32,21 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.campaign.progress import ProgressReporter
 from repro.campaign.store import ResultStore, default_store
-from repro.experiments.config import ExecutionConfig, MultiTenantConfig
-from repro.experiments.runner import run_execution, run_multi_tenant
+from repro.experiments.config import (
+    ExecutionConfig,
+    MultiTenantConfig,
+    ScenarioConfig,
+)
+from repro.experiments.runner import (
+    run_execution,
+    run_federated,
+    run_multi_tenant,
+)
 
 __all__ = ["CampaignExecutor", "default_jobs", "run_cached",
            "set_default_jobs"]
 
-AnyConfig = Union[ExecutionConfig, MultiTenantConfig]
+AnyConfig = Union[ExecutionConfig, MultiTenantConfig, ScenarioConfig]
 
 #: below this many pending configs the pool overhead beats the speedup
 MIN_PARALLEL_CONFIGS = 4
@@ -66,8 +74,13 @@ def default_jobs() -> int:
 
 def _run_one(cfg: AnyConfig) -> Any:
     """Dispatch one config to its runner (top-level: pickled by pools)."""
+    from repro.deployment.edgi import EDGIConfig, run_edgi
     if isinstance(cfg, MultiTenantConfig):
         return run_multi_tenant(cfg)
+    if isinstance(cfg, ScenarioConfig):
+        return run_federated(cfg)
+    if isinstance(cfg, EDGIConfig):
+        return run_edgi(cfg)
     return run_execution(cfg)
 
 
@@ -77,6 +90,12 @@ def _run_shard(cfgs: List[AnyConfig]) -> List[Any]:
 
 
 def _shard_key(cfg: AnyConfig):
+    if isinstance(cfg, ScenarioConfig):
+        # a federation materializes one realization per DCI; group by
+        # the seed so paired routing/policy variants share a worker
+        return (cfg.dcis[0].trace, cfg.seed)
+    if not hasattr(cfg, "trace"):  # deployment presets (EDGIConfig)
+        return (type(cfg).__name__, cfg.seed)
     return (cfg.trace, cfg.seed)
 
 

@@ -6,7 +6,10 @@ fraction) that expands to a canonical list of
 :class:`~repro.experiments.config.ExecutionConfig`; a
 :class:`MultiTenantSweepSpec` does the same over the shared-service
 axes (policy x tenant count x seed) for
-:class:`~repro.experiments.config.MultiTenantConfig`.  A
+:class:`~repro.experiments.config.MultiTenantConfig`; a
+:class:`FederatedSweepSpec` expands the federated axes (DCI count x
+routing x arbitration policy x seed) to
+:class:`~repro.experiments.config.ScenarioConfig` lists.  A
 :class:`CampaignSpec` bundles several sweeps under one name.
 
 Specs are frozen dataclasses of plain tuples, so they are hashable and
@@ -32,14 +35,16 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.experiments.config import (
     CampaignScale,
+    DCISpec,
     ExecutionConfig,
     MultiTenantConfig,
+    ScenarioConfig,
 )
 from repro.infra.catalog import TRACE_NAMES
 from repro.middleware import MIDDLEWARE_NAMES
 
-__all__ = ["CampaignSpec", "MultiTenantSweepSpec", "SweepSpec",
-           "stable_seed", "scaled_bot_sizes"]
+__all__ = ["CampaignSpec", "FederatedSweepSpec", "MultiTenantSweepSpec",
+           "SweepSpec", "stable_seed", "scaled_bot_sizes"]
 
 
 def stable_seed(trace: str, middleware: str, category: str,
@@ -251,8 +256,108 @@ class MultiTenantSweepSpec:
         return cfgs
 
 
-AnySweep = Union[SweepSpec, MultiTenantSweepSpec]
-AnyConfig = Union[ExecutionConfig, MultiTenantConfig]
+@dataclass(frozen=True)
+class FederatedSweepSpec:
+    """Cartesian grid of federated scenarios.
+
+    Axes: DCI count x routing policy x arbitration policy x seed.  Each
+    scenario's DCI tuple is built by cycling the ``dci_*`` templates to
+    the requested count, so a two-template spec swept over
+    ``n_dcis=(1, 2, 4)`` grows the federation while keeping every
+    smaller federation a prefix of the larger one (same trace
+    realizations per DCI index, thanks to the per-index RNG streams).
+    """
+
+    #: per-DCI templates, cycled to each scenario's DCI count
+    dci_traces: Tuple[str, ...] = ("seti", "nd")
+    dci_middlewares: Tuple[str, ...] = ("boinc",)
+    dci_providers: Tuple[str, ...] = ("simulation",)
+    #: per-DCI node caps, cycled like the other templates (None entries
+    #: mean automatic sizing)
+    dci_max_nodes: Optional[Tuple[Optional[int], ...]] = None
+    n_dcis: Tuple[int, ...] = (2,)
+    routings: Tuple[str, ...] = ("round_robin",)
+    policies: Tuple[str, ...] = ("fairshare",)
+    seeds: Tuple[int, ...] = (0,)
+    n_tenants: int = 8
+    categories: Tuple[str, ...] = ("SMALL",)
+    strategy: str = "9C-C-R"
+    strategy_threshold: float = 0.9
+    affinity: Optional[Tuple[Tuple[str, str], ...]] = None
+    arrival_rate_per_hour: float = 2.0
+    bot_size: Optional[int] = None
+    pool_fraction: float = 0.10
+    max_total_workers: Optional[int] = None
+    max_dci_workers: Optional[int] = None
+    deadline_factor: Optional[float] = None
+    horizon_days: float = 15.0
+
+    def __post_init__(self) -> None:
+        for name in ("dci_traces", "dci_middlewares", "dci_providers",
+                     "dci_max_nodes", "n_dcis", "routings", "policies",
+                     "seeds", "categories"):
+            object.__setattr__(self, name, _tuplify(getattr(self, name)))
+        if self.affinity is not None:
+            # deep-tuplify: inner [category, dci] lists would break the
+            # hashability every spec promises
+            object.__setattr__(self, "affinity",
+                               tuple(tuple(pair) for pair in self.affinity))
+        for name in ("dci_traces", "dci_middlewares", "dci_providers",
+                     "n_dcis", "routings", "policies", "seeds",
+                     "categories"):
+            if not getattr(self, name):
+                raise ValueError(f"{name} must be non-empty")
+        for n in self.n_dcis:
+            if n < 1:
+                raise ValueError("every n_dcis entry must be >= 1")
+
+    # ------------------------------------------------------------------
+    def dci_specs(self, n: int) -> Tuple[DCISpec, ...]:
+        """The first ``n`` DCIs, templates cycled."""
+        def cyc(values, i):
+            return values[i % len(values)]
+        return tuple(
+            DCISpec(trace=cyc(self.dci_traces, i),
+                    middleware=cyc(self.dci_middlewares, i),
+                    provider=cyc(self.dci_providers, i),
+                    max_nodes=cyc(self.dci_max_nodes, i)
+                    if self.dci_max_nodes else None)
+            for i in range(n))
+
+    def n_configs(self) -> int:
+        return (len(self.routings) * len(self.policies)
+                * len(self.n_dcis) * len(self.seeds))
+
+    def expand(self) -> List[ScenarioConfig]:
+        """The canonical scenario list (routings outermost, then
+        arbitration policies, then DCI counts, then seeds — the
+        aggregation order of the federation report)."""
+        cfgs: List[ScenarioConfig] = []
+        for routing in self.routings:
+            for policy in self.policies:
+                for n in self.n_dcis:
+                    for seed in self.seeds:
+                        cfgs.append(ScenarioConfig(
+                            dcis=self.dci_specs(n), seed=seed,
+                            n_tenants=self.n_tenants,
+                            categories=self.categories,
+                            strategy=self.strategy,
+                            strategy_threshold=self.strategy_threshold,
+                            policy=policy, routing=routing,
+                            affinity=self.affinity,
+                            arrival_rate_per_hour=self
+                            .arrival_rate_per_hour,
+                            bot_size=self.bot_size,
+                            pool_fraction=self.pool_fraction,
+                            max_total_workers=self.max_total_workers,
+                            max_dci_workers=self.max_dci_workers,
+                            deadline_factor=self.deadline_factor,
+                            horizon_days=self.horizon_days))
+        return cfgs
+
+
+AnySweep = Union[SweepSpec, MultiTenantSweepSpec, FederatedSweepSpec]
+AnyConfig = Union[ExecutionConfig, MultiTenantConfig, ScenarioConfig]
 
 
 @dataclass(frozen=True)

@@ -39,9 +39,17 @@ from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.experiments.config import ExecutionConfig, MultiTenantConfig
+from repro.experiments.config import (
+    DCISpec,
+    ExecutionConfig,
+    MultiTenantConfig,
+    ScenarioConfig,
+)
 from repro.experiments.runner import (
+    DCIOutcome,
     ExecutionResult,
+    FederatedResult,
+    FederatedTenantOutcome,
     MultiTenantResult,
     TenantOutcome,
 )
@@ -60,6 +68,7 @@ CODE_VERSION = "campaign-v1"
 _SEMANTIC_PACKAGES = ("simulator", "middleware", "core", "workload",
                       "infra", "cloud", "deployment", "analysis")
 _SEMANTIC_FILES = (os.path.join("experiments", "config.py"),
+                   os.path.join("experiments", "harness.py"),
                    os.path.join("experiments", "runner.py"))
 
 _fingerprint: Optional[str] = None
@@ -95,6 +104,7 @@ _EXEC_SCALARS = ("makespan", "censored", "n_tasks", "ideal_time",
                  "cloud_completions", "events", "wall_seconds")
 _MT_SCALARS = ("pool_provisioned", "pool_spent", "workers_peak",
                "events", "wall_seconds")
+_FED_SCALARS = _MT_SCALARS
 
 
 def _jsonable(obj: Any) -> Any:
@@ -162,6 +172,12 @@ def encode_result(result: Any) -> Tuple[str, str]:
         d["tc_grid"] = result.tc_grid
         d["server_stats"] = result.server_stats
         return "execution", _payload_json(d)
+    if isinstance(result, FederatedResult):
+        d = {name: getattr(result, name) for name in _FED_SCALARS}
+        d["config"] = asdict(result.config)
+        d["tenants"] = [asdict(t) for t in result.tenants]
+        d["dcis"] = [asdict(o) for o in result.dcis]
+        return "federated", _payload_json(d)
     if isinstance(result, MultiTenantResult):
         d = {name: getattr(result, name) for name in _MT_SCALARS}
         d["config"] = asdict(result.config)
@@ -188,6 +204,19 @@ def decode_result(kind: str, payload: str) -> Any:
             config=MultiTenantConfig(**cfg),
             tenants=[TenantOutcome(**t) for t in d["tenants"]],
             **{name: d[name] for name in _MT_SCALARS})
+    if kind == "federated":
+        cfg = dict(d["config"])
+        cfg["dcis"] = tuple(DCISpec(**spec) for spec in cfg["dcis"])
+        cfg["categories"] = tuple(cfg["categories"])
+        if cfg.get("affinity") is not None:
+            cfg["affinity"] = tuple(tuple(pair) for pair in cfg["affinity"])
+        if cfg.get("arrivals") is not None:
+            cfg["arrivals"] = tuple(cfg["arrivals"])
+        return FederatedResult(
+            config=ScenarioConfig(**cfg),
+            tenants=[FederatedTenantOutcome(**t) for t in d["tenants"]],
+            dcis=[DCIOutcome(**o) for o in d["dcis"]],
+            **{name: d[name] for name in _FED_SCALARS})
     if kind == "json":
         return d
     raise ValueError(f"unknown payload kind {kind!r}")
@@ -337,6 +366,45 @@ class ResultStore:
                 (self.digest(key, extra),))
         self._conn.commit()
         return cur.rowcount
+
+    def gc(self, vacuum: bool = True) -> Tuple[int, int]:
+        """Drop records whose salt no longer matches this handle's.
+
+        Stale records are unreachable anyway (every lookup digest
+        embeds the current salt), so GC only reclaims space — a store
+        that survived many code edits (e.g. CI's cached one) otherwise
+        accretes dead rows forever.  Returns ``(rows, payload_bytes)``
+        reclaimed; ``vacuum`` compacts the database file afterwards so
+        the bytes actually return to the filesystem.
+        """
+        (rows, nbytes) = self._conn.execute(
+            "SELECT COUNT(*), COALESCE(SUM(LENGTH(payload)), 0) "
+            "FROM results WHERE salt != ?", (self._salt,)).fetchone()
+        if rows:
+            self._conn.execute("DELETE FROM results WHERE salt != ?",
+                               (self._salt,))
+            self._conn.commit()
+            if vacuum:
+                self._conn.execute("VACUUM")
+        return int(rows), int(nbytes)
+
+    def breakdown(self) -> Dict[str, Dict[str, int]]:
+        """Record counts per payload kind, split current/stale salt."""
+        out: Dict[str, Dict[str, int]] = {}
+        rows = self._conn.execute(
+            "SELECT kind, salt = ?, COUNT(*) FROM results "
+            "GROUP BY kind, salt = ? ORDER BY kind",
+            (self._salt, self._salt)).fetchall()
+        for kind, current, count in rows:
+            bucket = out.setdefault(kind, {"current": 0, "stale": 0})
+            bucket["current" if current else "stale"] += int(count)
+        return out
+
+    def file_bytes(self) -> int:
+        """On-disk size of the database (0 for in-memory stores)."""
+        if self.path == ":memory:" or not os.path.exists(self.path):
+            return 0
+        return os.path.getsize(self.path)
 
     def labels(self) -> List[str]:
         rows = self._conn.execute(

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Six subcommands cover the day-to-day uses of the reproduction:
+Eight subcommands cover the day-to-day uses of the reproduction:
 
 * ``run``     — one BoT execution (optionally with SpeQuloS), printing
   the metrics the paper reports for it;
@@ -9,13 +9,22 @@ Six subcommands cover the day-to-day uses of the reproduction:
 * ``multi``   — a multi-tenant scenario: N users' BoTs sharing one
   BE-DCI, Cloud and credit pool under an arbitration policy, with
   per-tenant slowdown and fairness output;
+* ``fed``     — a federated scenario: one SpeQuloS over several DCIs
+  (each its own trace, middleware and cloud), a routing policy
+  assigning arriving BoTs to DCIs, and one arbiter rationing the
+  global worker budget and the shared pool across all bindings;
 * ``report``  — regenerate any table/figure of the paper by name
   (``figure1`` .. ``figure7``, ``table1`` .. ``table5``,
-  ``ablation_*``, ``contention``); ``--jobs`` sizes the campaign
-  process pool and ``--no-cache`` bypasses the result store;
+  ``ablation_*``, ``contention``, ``federation``); ``--jobs`` sizes
+  the campaign process pool and ``--no-cache`` bypasses the result
+  store;
 * ``sweep``   — run an ad-hoc declarative campaign grid straight from
   flags (comma-separated axes) through the sharded executor and the
   content-addressed store, with per-config rows and store stats;
+* ``store``   — inspect the content-addressed result store
+  (``stats``) or garbage-collect records orphaned by code edits
+  (``gc``: drops rows whose salt no longer matches the current
+  ``code_fingerprint()`` and reports reclaimed rows/bytes);
 * ``trace``   — synthesize a Table 2 trace and print its measured
   statistics, or export it to the FTA-style text format.
 """
@@ -33,7 +42,7 @@ __all__ = ["main", "build_parser"]
 _REPORTS = ("figure1", "figure2", "figure4", "figure5", "figure6",
             "figure7", "table1", "table2", "table3", "table4", "table5",
             "ablation_threshold", "ablation_budget", "ablation_middleware",
-            "contention")
+            "contention", "federation")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -75,6 +84,44 @@ def build_parser() -> argparse.ArgumentParser:
     multi.add_argument("--max-workers", type=int, default=None,
                        help="global cap on concurrent cloud workers")
 
+    fed = sub.add_parser(
+        "fed", help="a federated scenario: one SpeQuloS over several "
+                    "DCIs and clouds")
+    fed.add_argument("--traces", default="seti,nd",
+                     help="comma-separated traces, one per DCI")
+    fed.add_argument("--middlewares", default="boinc",
+                     help="comma-separated middlewares, cycled over DCIs")
+    fed.add_argument("--providers", default="simulation",
+                     help="comma-separated cloud providers, cycled over "
+                          "DCIs")
+    fed.add_argument("--max-nodes", default=None,
+                     help="comma-separated per-DCI node caps "
+                          "('-' = automatic), cycled over DCIs")
+    fed.add_argument("--seed", type=int, default=1)
+    fed.add_argument("--tenants", type=int, default=8)
+    fed.add_argument("--categories", default="SMALL",
+                     help="comma-separated mix cycled over tenants")
+    fed.add_argument("--routing", default="round_robin",
+                     choices=("round_robin", "least_loaded", "affinity"),
+                     help="BoT-to-DCI routing policy")
+    fed.add_argument("--affinity", default=None,
+                     help="category=dci pins for affinity routing, "
+                          "comma-separated (e.g. SMALL=dci0-seti-boinc)")
+    fed.add_argument("--policy", default="fairshare",
+                     choices=("fifo", "fairshare", "deadline"),
+                     help="cloud arbitration policy")
+    fed.add_argument("--strategy", default="9C-C-R")
+    fed.add_argument("--rate", type=float, default=2.0,
+                     help="Poisson tenant arrivals per hour")
+    fed.add_argument("--bot-size", type=int, default=None)
+    fed.add_argument("--pool-fraction", type=float, default=0.10,
+                     help="pooled credits / aggregate workload")
+    fed.add_argument("--max-workers", type=int, default=None,
+                     help="global cap on concurrent cloud workers")
+    fed.add_argument("--dci-workers", type=int, default=None,
+                     help="per-DCI cap on concurrent cloud workers")
+    fed.add_argument("--horizon-days", type=float, default=15.0)
+
     rep = sub.add_parser("report", help="regenerate a paper table/figure")
     rep.add_argument("name", choices=_REPORTS)
     rep.add_argument("--save", action="store_true",
@@ -108,6 +155,13 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--save", action="store_true",
                        help="also write under benchmarks/results/")
     _add_campaign_args(sweep)
+
+    st = sub.add_parser(
+        "store", help="inspect or garbage-collect the result store")
+    st.add_argument("action", choices=("stats", "gc"),
+                    help="stats: record counts and size; gc: drop "
+                         "records whose code salt is stale and report "
+                         "reclaimed rows/bytes")
 
     tr = sub.add_parser("trace", help="synthesize and inspect a trace")
     tr.add_argument("name", help="trace name (seti, nd, g5klyo, ...)")
@@ -201,6 +255,82 @@ def _cmd_multi(args) -> int:
           f"credits spent ({res.pool_used_pct:.1f} %)")
     print(f"  fairness: max/min slowdown {res.slowdown_spread:.2f}, "
           f"jain index {res.fairness:.3f}")
+    return 0
+
+
+def _cmd_fed(args) -> int:
+    from repro.experiments import DCISpec, ScenarioConfig, run_federated
+
+    def _axis(text):
+        return [v.strip() for v in text.split(",") if v.strip()]
+
+    traces = _axis(args.traces)
+    middlewares = _axis(args.middlewares)
+    providers = _axis(args.providers)
+    caps = [None if v == "-" else int(v)
+            for v in _axis(args.max_nodes)] if args.max_nodes else [None]
+    dcis = tuple(
+        DCISpec(trace=traces[i],
+                middleware=middlewares[i % len(middlewares)],
+                provider=providers[i % len(providers)],
+                max_nodes=caps[i % len(caps)])
+        for i in range(len(traces)))
+    affinity = None
+    if args.affinity:
+        pairs = []
+        for pair in _axis(args.affinity):
+            if "=" not in pair:
+                raise SystemExit(
+                    f"repro fed: --affinity entry {pair!r} must be "
+                    f"CATEGORY=DCI (e.g. SMALL=dci0-seti-boinc)")
+            pairs.append(tuple(pair.split("=", 1)))
+        affinity = tuple(pairs)
+    cfg = ScenarioConfig(
+        dcis=dcis, seed=args.seed, n_tenants=args.tenants,
+        categories=tuple(_axis(args.categories)),
+        strategy=args.strategy, policy=args.policy, routing=args.routing,
+        affinity=affinity, arrival_rate_per_hour=args.rate,
+        bot_size=args.bot_size, pool_fraction=args.pool_fraction,
+        max_total_workers=args.max_workers,
+        max_dci_workers=args.dci_workers,
+        horizon_days=args.horizon_days)
+    res = run_federated(cfg)
+    print(f"{cfg.label()}:")
+    for t in res.tenants:
+        cens = "  (censored)" if t.censored else ""
+        print(f"  {t.user:<8} {t.category:<7} -> {t.dci:<22} "
+              f"arr {t.arrival:9.0f} s  makespan {t.makespan:9.0f} s  "
+              f"slowdown {t.slowdown:5.2f}x  "
+              f"credits {t.credits_spent:7.1f}{cens}")
+    for d in res.dcis:
+        print(f"  DCI {d.name:<22} ({d.trace}/{d.middleware}/"
+              f"{d.provider}): {d.tenants_assigned} tenants, "
+              f"{d.completions} DG tasks, {d.cloud_tasks} cloud tasks, "
+              f"peak {d.workers_peak} workers, "
+              f"{d.cloud_cpu_hours:.1f} cloud CPUh")
+    print(f"  pool: {res.pool_spent:.1f} of {res.pool_provisioned:.1f} "
+          f"credits spent ({res.pool_used_pct:.1f} %)")
+    print(f"  fairness: max/min slowdown {res.slowdown_spread:.2f}, "
+          f"jain index {res.fairness:.3f}; "
+          f"peak cloud workers {res.workers_peak}")
+    return 0
+
+
+def _cmd_store(args) -> int:
+    from repro.campaign.store import ResultStore, default_store_path
+    store = ResultStore(default_store_path())
+    if args.action == "stats":
+        print(f"store: {store.path}")
+        print(f"  {len(store)} records, {store.file_bytes()} bytes on disk")
+        for kind, counts in sorted(store.breakdown().items()):
+            print(f"  {kind:<14} {counts['current']:6d} current  "
+                  f"{counts['stale']:6d} stale")
+        return 0
+    rows, nbytes = store.gc()
+    print(f"store gc: reclaimed {rows} stale rows "
+          f"({nbytes} payload bytes) — {store.path}")
+    print(f"  {len(store)} records remain, "
+          f"{store.file_bytes()} bytes on disk")
     return 0
 
 
@@ -313,8 +443,9 @@ def _cmd_trace(args) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {"run": _cmd_run, "compare": _cmd_compare,
-               "multi": _cmd_multi, "report": _cmd_report,
-               "sweep": _cmd_sweep, "trace": _cmd_trace}[args.command]
+               "multi": _cmd_multi, "fed": _cmd_fed,
+               "report": _cmd_report, "sweep": _cmd_sweep,
+               "store": _cmd_store, "trace": _cmd_trace}[args.command]
     return handler(args)
 
 

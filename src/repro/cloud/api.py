@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -21,7 +21,7 @@ from repro.infra.node import Node
 from repro.simulator.engine import Simulation
 
 __all__ = ["CloudError", "QuotaExceeded", "CloudInstance", "ComputeDriver",
-           "ProviderProfile"]
+           "ProviderProfile", "peak_concurrency"]
 
 #: Cloud worker node ids live far above trace node ids.
 _CLOUD_ID_BASE = 10_000_000
@@ -137,3 +137,32 @@ class ComputeDriver:
         """Billable CPU·hours across all instances ever started."""
         now = self.sim.now
         return sum(i.cpu_seconds(now) for i in self.instances.values()) / 3600.0
+
+    def peak_concurrency(self) -> int:
+        """Max simultaneously alive instances over the driver's history.
+
+        The number arbitration worker budgets are checked against; a
+        federation computes its *global* peak by passing every
+        driver's instances to :func:`peak_concurrency` in one call
+        (per-driver peaks happen at different times, so summing them
+        would over-count).
+        """
+        return peak_concurrency(self.instances.values())
+
+
+def peak_concurrency(instances: "Iterable[CloudInstance]") -> int:
+    """Peak simultaneously alive instances over any instance set.
+
+    Sweeps the create/destroy deltas; still-alive instances count to
+    the end of the history.
+    """
+    deltas: List[Tuple[float, int]] = []
+    for inst in instances:
+        deltas.append((inst.created_at, 1))
+        if inst.destroyed_at is not None:
+            deltas.append((inst.destroyed_at, -1))
+    peak = cur = 0
+    for _t, delta in sorted(deltas):
+        cur += delta
+        peak = max(peak, cur)
+    return peak

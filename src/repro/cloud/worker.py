@@ -21,7 +21,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional
 
-from repro.cloud.api import CloudInstance, ComputeDriver
+from repro.cloud.api import CloudInstance
 from repro.infra.node import Node
 from repro.middleware.base import DGServer, GTID
 from repro.simulator.engine import Simulation

@@ -17,9 +17,7 @@ category), via a pluggable :mod:`repro.core.storage` backend.
 
 from __future__ import annotations
 
-import bisect
 import math
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np

@@ -1,0 +1,135 @@
+"""BoT-to-DCI routing policies for federated scenarios.
+
+The paper's headline deployment (§5, Figure 8) runs *one* SpeQuloS
+instance over several BE-DCIs backed by different clouds.  When a
+federated scenario admits a stream of tenants, something has to decide
+which DCI each arriving BoT is submitted to; this module provides that
+decision as a small pluggable policy, mirroring how the arbitration
+policies (:mod:`repro.core.scheduler`) ration the cloud side.
+
+Three policies:
+
+* ``round_robin`` — arrivals cycle over the DCIs in declaration order
+  (the blind baseline; what the EDGI deployment's alternating
+  submission loop does by hand);
+* ``least_loaded`` — each arrival goes to the DCI with the lowest
+  *live load ratio*: outstanding execution units (queued + running)
+  divided by the live-worker count (busy workers plus currently
+  available idle nodes).  A small volatile desktop grid therefore
+  stops receiving BoTs once its few live workers are saturated while
+  a large DCI keeps absorbing them;
+* ``affinity`` — a category→DCI map pins BoT classes to
+  infrastructures (e.g. BIG BoTs to the stable cluster harvest, SMALL
+  ones to the desktop grid); unmapped categories fall back to round
+  robin over all DCIs.
+
+Routers are tiny stateful objects (the round-robin cursor); one router
+instance serves one scenario.  They rank *targets*: any object with a
+``name`` and a ``server`` exposing the :class:`~repro.middleware.base.
+DGServer` load probes (``busy_count``/``backlog``) and a ``pool`` with
+``idle_count``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Sequence
+
+__all__ = ["ROUTING_POLICIES", "Router", "RoundRobinRouter",
+           "LeastLoadedRouter", "AffinityRouter", "make_router"]
+
+ROUTING_POLICIES = ("round_robin", "least_loaded", "affinity")
+
+
+class Router:
+    """Base router: picks the index of the DCI an arriving BoT joins."""
+
+    name = "base"
+
+    def route(self, category: str, targets: Sequence, now: float) -> int:
+        """Index into ``targets`` for a BoT of ``category`` arriving now."""
+        raise NotImplementedError
+
+
+class RoundRobinRouter(Router):
+    """Cycle over the DCIs in declaration order."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def route(self, category: str, targets: Sequence, now: float) -> int:
+        if not targets:
+            raise ValueError("no DCIs to route to")
+        i = self._next % len(targets)
+        self._next += 1
+        return i
+
+
+class LeastLoadedRouter(Router):
+    """Pick the DCI with the lowest outstanding-work / live-worker ratio.
+
+    Live workers = workers currently executing a unit plus idle nodes
+    currently inside an availability interval; outstanding work =
+    queued pending units plus the busy ones.  A DCI with *no* live
+    workers (every node in an unavailability interval) ranks as
+    infinitely loaded — work sent there stalls until nodes return.
+    Ties (e.g. every DCI idle) resolve to the earliest-declared DCI,
+    which keeps the policy deterministic.
+    """
+
+    name = "least_loaded"
+
+    @staticmethod
+    def load_of(target, now: float) -> float:
+        server = target.server
+        busy = server.busy_count()
+        live = busy + server.pool.idle_count(now)
+        if live == 0:
+            return math.inf
+        return (busy + server.backlog()) / live
+
+    def route(self, category: str, targets: Sequence, now: float) -> int:
+        if not targets:
+            raise ValueError("no DCIs to route to")
+        loads = [self.load_of(t, now) for t in targets]
+        return int(min(range(len(targets)), key=loads.__getitem__))
+
+
+class AffinityRouter(Router):
+    """Category→DCI pinning with a round-robin fallback.
+
+    ``affinity`` maps upper-cased BoT categories to DCI *names*; a BoT
+    whose category is unmapped (or mapped to a DCI absent from the
+    scenario) falls back to round robin over every DCI.
+    """
+
+    name = "affinity"
+
+    def __init__(self, affinity: Optional[Dict[str, str]] = None):
+        self.affinity = {k.upper(): v for k, v in (affinity or {}).items()}
+        self._fallback = RoundRobinRouter()
+
+    def route(self, category: str, targets: Sequence, now: float) -> int:
+        if not targets:
+            raise ValueError("no DCIs to route to")
+        wanted = self.affinity.get(category.upper())
+        if wanted is not None:
+            for i, target in enumerate(targets):
+                if target.name == wanted:
+                    return i
+        return self._fallback.route(category, targets, now)
+
+
+def make_router(policy: str,
+                affinity: Optional[Dict[str, str]] = None) -> Router:
+    """Instantiate a routing policy by name."""
+    if policy == "round_robin":
+        return RoundRobinRouter()
+    if policy == "least_loaded":
+        return LeastLoadedRouter()
+    if policy == "affinity":
+        return AffinityRouter(affinity)
+    raise ValueError(f"unknown routing policy {policy!r}; available: "
+                     f"{', '.join(ROUTING_POLICIES)}")

@@ -34,6 +34,12 @@ policies are provided:
 * ``deadline`` — earliest-deadline-first: runs closest to their
   deadline are served first (EDF over the FIFO allocation rule).
 
+In a *federated* scenario (one SpeQuloS over several DCIs and clouds,
+the paper's Figure 8 topology) the same arbiter spans every binding:
+the global worker budget counts workers across all clouds, and
+optional per-DCI caps (uniform or per binding) bound how much of the
+supplement any single DCI may draw.
+
 Without an arbiter the Scheduler behaves exactly as the single-BoT
 paper algorithms.
 """
@@ -137,17 +143,36 @@ class CloudArbiter:
     ``max_total_workers`` bounds *concurrently active* Cloud workers
     summed over every managed run (the limited cloud supplement);
     ``None`` leaves workers bounded only by per-run/provider caps.
+
+    Cross-DCI federation (one arbiter over several bindings): the
+    global budget already spans every run regardless of which DCI
+    (server + cloud driver) it is bound to, because runs carry their
+    own bindings.  Two optional *per-DCI* caps refine it:
+    ``max_dci_workers`` bounds the concurrently active workers of the
+    runs sharing any one DG server, and ``dci_caps`` overrides that
+    bound for individually named servers (keyed by ``server.name``) —
+    e.g. a small on-site StratusLab behind one DCI and a large EC2
+    behind another.
     """
 
     def __init__(self, policy: str = "fairshare",
-                 max_total_workers: Optional[int] = None):
+                 max_total_workers: Optional[int] = None,
+                 max_dci_workers: Optional[int] = None,
+                 dci_caps: Optional[Dict[str, int]] = None):
         if policy not in ARBITRATION_POLICIES:
             raise ValueError(f"unknown arbitration policy {policy!r}; "
                              f"available: {', '.join(ARBITRATION_POLICIES)}")
         if max_total_workers is not None and max_total_workers < 1:
             raise ValueError("max_total_workers must be >= 1 or None")
+        if max_dci_workers is not None and max_dci_workers < 1:
+            raise ValueError("max_dci_workers must be >= 1 or None")
+        for name, cap in (dci_caps or {}).items():
+            if cap < 1:
+                raise ValueError(f"dci_caps[{name!r}] must be >= 1")
         self.policy = policy
         self.max_total_workers = max_total_workers
+        self.max_dci_workers = max_dci_workers
+        self.dci_caps = dict(dci_caps or {})
 
     # ------------------------------------------------------------------
     def service_order(self, runs: Sequence[QoSRun],
@@ -203,20 +228,37 @@ class CloudArbiter:
             for order in orders:
                 credits.set_allowance(order.bot_id, order.spent + slice_)
 
+    def _dci_cap(self, run: QoSRun) -> Optional[int]:
+        """Per-DCI worker bound applying to this run's binding."""
+        name = getattr(run.server, "name", None)
+        if name is not None and name in self.dci_caps:
+            return self.dci_caps[name]
+        return self.max_dci_workers
+
     def worker_grant(self, run: QoSRun, desired: int,
                      scheduler: "SpeQuloSScheduler") -> int:
-        """Workers the run may actually start, given the global budget."""
+        """Workers the run may actually start, given the global budget
+        and (in a federation) the per-DCI bound of its binding."""
         if desired <= 0:
             return 0
-        if self.max_total_workers is None:
+        dci_cap = self._dci_cap(run)
+        if self.max_total_workers is None and dci_cap is None:
             return desired
-        active = sum(r.active_workers() for r in scheduler.runs.values())
-        free = max(0, self.max_total_workers - active)
-        if self.policy == "fairshare":
-            # finished tenants hand their worker slice back to the rest
-            n_peers = max(1, sum(1 for r in scheduler.runs.values()
-                                 if not r.finished))
-            desired = min(desired, max(1, self.max_total_workers // n_peers))
+        free = desired
+        if self.max_total_workers is not None:
+            active = sum(r.active_workers() for r in scheduler.runs.values())
+            free = max(0, self.max_total_workers - active)
+            if self.policy == "fairshare":
+                # finished tenants hand their worker slice back to the rest
+                n_peers = max(1, sum(1 for r in scheduler.runs.values()
+                                     if not r.finished))
+                desired = min(desired,
+                              max(1, self.max_total_workers // n_peers))
+        if dci_cap is not None:
+            active_here = sum(r.active_workers()
+                              for r in scheduler.runs.values()
+                              if r.server is run.server)
+            free = min(free, max(0, dci_cap - active_here))
         return min(desired, free)
 
 

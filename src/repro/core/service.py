@@ -26,7 +26,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.cloud.api import ComputeDriver
-from repro.core.credit import CREDITS_PER_CPU_HOUR, CreditPool, CreditSystem
+from repro.core.credit import CreditPool, CreditSystem
 from repro.core.info import BoTMonitor, InformationModule
 from repro.core.oracle import Oracle, Prediction
 from repro.core.scheduler import (

@@ -10,6 +10,13 @@ topology in simulation and regenerates Table 5's task accounting.
 """
 
 from repro.deployment.bridge import BridgedBoT, ThreeGBridge
-from repro.deployment.edgi import EDGIDeployment
+from repro.deployment.edgi import (
+    EDGI_DCIS,
+    EDGIConfig,
+    EDGIDeployment,
+    edgi_scenario,
+    run_edgi,
+)
 
-__all__ = ["ThreeGBridge", "BridgedBoT", "EDGIDeployment"]
+__all__ = ["ThreeGBridge", "BridgedBoT", "EDGIConfig", "EDGIDeployment",
+           "EDGI_DCIS", "edgi_scenario", "run_edgi"]

@@ -11,7 +11,7 @@ that accounting is the ``EGI`` column of Table 5.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.middleware.base import DGServer, GTID

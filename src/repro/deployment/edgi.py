@@ -11,30 +11,116 @@ Topology reproduced from Figure 8:
 * **EGI** users reach XW@LAL through the **3G-Bridge**;
 * one **SpeQuloS** instance serves both DCIs.
 
-:meth:`EDGIDeployment.run` pushes a stream of RANDOM-class BoTs through
-the deployment (a fraction bridged from EGI, a fraction QoS-enabled)
-and returns Table 5-style task accounting.
+The deployment is a :class:`~repro.experiments.harness.ScenarioHarness`
+preset: the harness owns the simulation, the DCI registry, the shared
+SpeQuloS instance and the cloud accounting probes, while this module
+keeps only what is EDGI-specific — the historical trace/pool/driver RNG
+streams (drift-pinned: Table 5 regenerates byte-identically), the
+3G-Bridge, and the mixed native/bridged, QoS/non-QoS submission stream.
+
+Campaign integration: :class:`EDGIConfig` is the frozen declarative
+form of one deployment run and :func:`run_edgi` its runner, so the
+Table 5 report (and any EDGI sweep) flows through the campaign engine —
+content-addressed caching, dedup and the process pool included.
+
+:data:`EDGI_DCIS` exports the same two DCIs as declarative
+:class:`~repro.experiments.config.DCISpec` entries — the reference
+federation the federated scenario family
+(:func:`~repro.experiments.runner.run_federated`) and its report build
+on.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 import numpy as np
 
 from repro.cloud.registry import get_driver
 from repro.core.credit import CREDITS_PER_CPU_HOUR
-from repro.core.service import SpeQuloS
 from repro.core.strategies import StrategyCombo
 from repro.deployment.bridge import ThreeGBridge
-from repro.experiments.config import ExecutionConfig  # noqa: F401 (doc link)
+from repro.experiments.config import DCISpec, ScenarioConfig
+from repro.experiments.harness import ScenarioHarness
 from repro.infra.catalog import get_trace_spec
 from repro.infra.pool import NodePool
 from repro.middleware.xwhep import XWHepServer
-from repro.simulator.engine import Simulation
 from repro.workload.generator import make_bot
 
-__all__ = ["EDGIDeployment"]
+__all__ = ["EDGIConfig", "EDGIDeployment", "EDGI_DCIS", "edgi_scenario",
+           "run_edgi"]
+
+#: Figure 8's two DCIs in declarative form (federated scenario preset):
+#: XW@LAL = nd-like desktop grid + StratusLab, XW@LRI = Grid'5000
+#: harvest bounded to 200 nodes + EC2.
+EDGI_DCIS = (
+    DCISpec(trace="nd", middleware="xwhep", provider="stratuslab",
+            name="XW@LAL", max_nodes=180),
+    DCISpec(trace="g5klyo", middleware="xwhep", provider="ec2",
+            name="XW@LRI", max_nodes=200),
+)
+
+
+def edgi_scenario(seed: int = 5, n_tenants: int = 8,
+                  routing: str = "round_robin",
+                  policy: str = "fairshare",
+                  **overrides) -> ScenarioConfig:
+    """A federated :class:`ScenarioConfig` over the EDGI topology.
+
+    This is the *tenant-stream* view of the deployment (N users' QoS
+    BoTs routed over the two DCIs); :class:`EDGIConfig` below is the
+    *Table 5* view (mixed native/bridged traffic, partial QoS).
+    """
+    return ScenarioConfig(dcis=EDGI_DCIS, seed=seed, n_tenants=n_tenants,
+                          routing=routing, policy=policy, **overrides)
+
+
+@dataclass(frozen=True)
+class EDGIConfig:
+    """One Table 5-style deployment run, declaratively.
+
+    Frozen and hashable so the campaign engine can content-address it:
+    ``run_cached(EDGIConfig(...))`` simulates at most once per store
+    lifetime, and grids of these sweep/parallelize like any other
+    config family.
+    """
+
+    seed: int = 5
+    lal_nodes: int = 180
+    lri_nodes: int = 200
+    horizon_days: float = 7.0
+    duration_days: float = 2.0
+    n_bots: int = 12
+    bot_size: int = 220
+    egi_fraction: float = 0.25
+    qos_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.lal_nodes < 1 or self.lri_nodes < 1:
+            raise ValueError("node counts must be >= 1")
+        if self.horizon_days <= 0 or self.duration_days <= 0:
+            raise ValueError("horizon/duration must be positive")
+        if self.n_bots < 1 or self.bot_size < 1:
+            raise ValueError("n_bots and bot_size must be >= 1")
+        if not 0.0 <= self.egi_fraction <= 1.0:
+            raise ValueError("egi_fraction must be in [0, 1]")
+        if not 0.0 <= self.qos_fraction <= 1.0:
+            raise ValueError("qos_fraction must be in [0, 1]")
+
+    def label(self) -> str:
+        return (f"edgi/{self.n_bots}x{self.bot_size}"
+                f"/{self.duration_days:g}d/s{self.seed}")
+
+
+def run_edgi(cfg: EDGIConfig) -> Dict[str, int]:
+    """Run one EDGI deployment; returns the Table 5 accounting row."""
+    dep = EDGIDeployment(seed=cfg.seed, lal_nodes=cfg.lal_nodes,
+                         lri_nodes=cfg.lri_nodes,
+                         horizon_days=cfg.horizon_days)
+    return dep.run(duration_days=cfg.duration_days, n_bots=cfg.n_bots,
+                   bot_size=cfg.bot_size, egi_fraction=cfg.egi_fraction,
+                   qos_fraction=cfg.qos_fraction)
 
 
 class EDGIDeployment:
@@ -44,7 +130,13 @@ class EDGIDeployment:
                  lri_nodes: int = 200, horizon_days: float = 7.0):
         self.seed = seed
         self.horizon = horizon_days * 86400.0
-        self.sim = Simulation(horizon=self.horizon)
+        self.harness = ScenarioHarness(self.horizon)
+        self.sim = self.harness.sim
+        # Historical RNG layout (drift-pinned): one shared stream
+        # realizes both traces sequentially, pools and drivers draw
+        # from small numbered streams.  The generic
+        # ScenarioHarness.build_dci uses per-DCI labelled streams
+        # instead; changing this would shift every Table 5 number.
         rng = np.random.default_rng([seed, 0xED61])
 
         # XW@LAL: desktop grid with nd-like churn.
@@ -67,10 +159,12 @@ class EDGIDeployment:
         self.ec2 = get_driver("ec2", self.sim,
                               rng=np.random.default_rng([seed, 4]))
 
-        # One SpeQuloS instance serves both DCIs.
-        self.speq = SpeQuloS(self.sim)
-        self.speq.connect_dci("XW@LAL", self.xw_lal, self.stratuslab)
-        self.speq.connect_dci("XW@LRI", self.xw_lri, self.ec2)
+        # One SpeQuloS instance serves both DCIs (harness-connected).
+        self.harness.add_dci("XW@LAL", self.xw_lal, self.stratuslab,
+                             self.lal_pool)
+        self.harness.add_dci("XW@LRI", self.xw_lri, self.ec2,
+                             self.lri_pool)
+        self.speq = self.harness.service
 
         # EGI reaches XW@LAL through the 3G-Bridge.
         self.bridge = ThreeGBridge(self.xw_lal, name="3g-bridge")
@@ -128,7 +222,7 @@ class EDGIDeployment:
                 self.bridge.submit(bot, "EGI", at=at)
             else:
                 server.submit_bot(bot, at=at)
-        self.sim.run(until=duration)
+        self.harness.run(until=duration)
         return self.accounting()
 
     # ------------------------------------------------------------------
@@ -138,21 +232,13 @@ class EDGIDeployment:
         DG counts are tasks completed by each XtremWeb server (bridged
         EGI tasks included, as in the paper); the EGI row counts the
         bridged subset; cloud rows count tasks *assigned* to each
-        cloud's workers by SpeQuloS.
+        cloud's workers by SpeQuloS (the harness folds the
+        Cloud-duplication coordinators' completions in).
         """
-        lal_cloud = self.xw_lal.stats.cloud_assignments
-        lri_cloud = self.xw_lri.stats.cloud_assignments
-        # Cloud-duplication completions are tracked by coordinators.
-        for run in self.speq.scheduler.runs.values():
-            if run.coordinator is not None:
-                if run.server is self.xw_lal:
-                    lal_cloud += run.coordinator.completions
-                else:
-                    lri_cloud += run.coordinator.completions
         return {
             "XW@LAL": self.xw_lal.stats.completions,
             "XW@LRI": self.xw_lri.stats.completions,
             "EGI": self.bridge.completed_for("EGI"),
-            "StratusLab": lal_cloud,
-            "EC2": lri_cloud,
+            "StratusLab": self.harness.cloud_task_count("XW@LAL"),
+            "EC2": self.harness.cloud_task_count("XW@LRI"),
         }

@@ -25,28 +25,42 @@ same grid:
 
 from repro.experiments.config import (
     CampaignScale,
+    DCISpec,
     ExecutionConfig,
     MultiTenantConfig,
+    ScenarioConfig,
     get_scale,
 )
+from repro.experiments.harness import ScenarioHarness
 from repro.experiments.runner import (
+    DCIOutcome,
     ExecutionResult,
+    FederatedResult,
+    FederatedTenantOutcome,
     MultiTenantResult,
     TenantOutcome,
     run_campaign,
     run_execution,
+    run_federated,
     run_multi_tenant,
 )
 
 __all__ = [
     "CampaignScale",
+    "DCIOutcome",
+    "DCISpec",
     "ExecutionConfig",
     "ExecutionResult",
+    "FederatedResult",
+    "FederatedTenantOutcome",
     "MultiTenantConfig",
     "MultiTenantResult",
+    "ScenarioConfig",
+    "ScenarioHarness",
     "TenantOutcome",
     "get_scale",
     "run_campaign",
     "run_execution",
+    "run_federated",
     "run_multi_tenant",
 ]

@@ -23,17 +23,45 @@ import os
 from dataclasses import dataclass, replace
 from typing import Optional, Tuple
 
+from repro.cloud.registry import PROVIDER_NAMES
+from repro.core.routing import ROUTING_POLICIES
 from repro.core.scheduler import ARBITRATION_POLICIES
 from repro.infra.catalog import TRACE_NAMES, get_trace_spec
 from repro.middleware import MIDDLEWARE_NAMES
 from repro.workload.categories import BOT_CATEGORIES
 
-__all__ = ["ExecutionConfig", "MultiTenantConfig", "CampaignScale",
-           "get_scale", "SCALES"]
+__all__ = ["DCISpec", "ExecutionConfig", "MultiTenantConfig",
+           "ScenarioConfig", "CampaignScale", "get_scale", "SCALES"]
 
 #: hard ceiling on materialized trace nodes per execution — above this
 #: extra nodes only deepen the idle pool (DESIGN.md §4)
 HARD_NODE_CAP = 4000
+
+
+def _category_size(category: str, override: Optional[int]) -> int:
+    """Nominal task count of one BoT (RANDOM uses its mean)."""
+    if override is not None:
+        return override
+    cat = BOT_CATEGORIES[category.upper()]
+    if cat.size is not None:
+        return cat.size
+    return int(cat.size_normal[0])  # type: ignore[index]
+
+
+def _auto_node_cap(trace: str, middleware: str, expected_tasks: int) -> int:
+    """Materialized node count for one DCI.
+
+    1.3x the peak concurrent demand (task replicas), bounded by the
+    trace's natural size and a hard ceiling; extra nodes beyond the
+    peak demand never receive work and only slow the simulation.
+    Gated traces only field ~participation of their population at any
+    instant, so the cap is raised to keep the same effective worker
+    supply.
+    """
+    replicas = expected_tasks * (3 if middleware == "boinc" else 1)
+    spec = get_trace_spec(trace)
+    cap = max(64, math.ceil(1.3 * replicas / spec.participation))
+    return min(cap, spec.natural_node_count(), HARD_NODE_CAP)
 
 
 @dataclass(frozen=True)
@@ -88,30 +116,15 @@ class ExecutionConfig:
 
     def expected_size(self) -> int:
         """Nominal task count (RANDOM uses its mean)."""
-        if self.bot_size is not None:
-            return self.bot_size
-        cat = BOT_CATEGORIES[self.category.upper()]
-        if cat.size is not None:
-            return cat.size
-        return int(cat.size_normal[0])  # type: ignore[index]
+        return _category_size(self.category, self.bot_size)
 
     def node_cap(self) -> int:
-        """Materialized node count for this execution.
-
-        1.3x the peak concurrent demand (task replicas), bounded by the
-        trace's natural size and a hard ceiling; extra nodes beyond the
-        peak demand never receive work and only slow the simulation.
-        """
+        """Materialized node count for this execution (see
+        :func:`_auto_node_cap`)."""
         if self.max_nodes is not None:
             return self.max_nodes
-        replicas = self.expected_size() * (3 if self.middleware == "boinc"
-                                           else 1)
-        spec = get_trace_spec(self.trace)
-        # Gated traces only field ~participation of their population at
-        # any instant, so the cap is raised to keep the same effective
-        # worker supply.
-        cap = max(64, math.ceil(1.3 * replicas / spec.participation))
-        return min(cap, spec.natural_node_count(), HARD_NODE_CAP)
+        return _auto_node_cap(self.trace, self.middleware,
+                              self.expected_size())
 
     def env_name(self) -> str:
         """DCI label: trace + middleware (the history/prediction bucket
@@ -198,17 +211,10 @@ class MultiTenantConfig:
 
     def expected_total_size(self) -> int:
         """Nominal aggregate task count across the tenant stream."""
-        total = 0
-        for i in range(self.n_tenants):
-            cat = BOT_CATEGORIES[self.categories[i % len(self.categories)]
-                                 .upper()]
-            if self.bot_size is not None:
-                total += self.bot_size
-            elif cat.size is not None:
-                total += cat.size
-            else:
-                total += int(cat.size_normal[0])  # type: ignore[index]
-        return total
+        return sum(
+            _category_size(self.categories[i % len(self.categories)],
+                           self.bot_size)
+            for i in range(self.n_tenants))
 
     def node_cap(self) -> int:
         """Materialized node count — same rule as
@@ -216,11 +222,8 @@ class MultiTenantConfig:
         concurrent demand of all tenants."""
         if self.max_nodes is not None:
             return self.max_nodes
-        replicas = self.expected_total_size() * (3 if self.middleware
-                                                 == "boinc" else 1)
-        spec = get_trace_spec(self.trace)
-        cap = max(64, math.ceil(1.3 * replicas / spec.participation))
-        return min(cap, spec.natural_node_count(), HARD_NODE_CAP)
+        return _auto_node_cap(self.trace, self.middleware,
+                              self.expected_total_size())
 
     def env_name(self) -> str:
         return f"{self.trace}-{self.middleware}"
@@ -229,6 +232,178 @@ class MultiTenantConfig:
         cats = "+".join(c.upper() for c in self.categories)
         return (f"{self.trace}/{self.middleware}/{cats}"
                 f"/x{self.n_tenants}/{self.policy}/s{self.seed}")
+
+
+@dataclass(frozen=True)
+class DCISpec:
+    """One BE-DCI of a federated scenario, declaratively.
+
+    A spec names the environment (trace + middleware), the cloud
+    provider that supplements it, and optional caps: ``max_nodes``
+    bounds the materialized trace realization, ``worker_cap`` bounds
+    the concurrently active cloud workers the arbiter may grant runs
+    bound to this DCI (overriding the scenario-wide
+    ``max_dci_workers``).
+    """
+
+    trace: str
+    middleware: str
+    provider: str = "simulation"
+    #: DCI label; None derives ``dci<i>-<trace>-<middleware>``
+    name: Optional[str] = None
+    max_nodes: Optional[int] = None
+    worker_cap: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.trace not in TRACE_NAMES:
+            raise ValueError(f"unknown trace {self.trace!r}")
+        if self.middleware not in MIDDLEWARE_NAMES:
+            raise ValueError(f"unknown middleware {self.middleware!r}")
+        if self.provider.lower() not in PROVIDER_NAMES:
+            raise ValueError(f"unknown cloud provider {self.provider!r}")
+        if self.max_nodes is not None and self.max_nodes < 1:
+            raise ValueError("max_nodes must be >= 1 or None")
+        if self.worker_cap is not None and self.worker_cap < 1:
+            raise ValueError("worker_cap must be >= 1 or None")
+
+    def resolved_name(self, index: int) -> str:
+        return self.name or f"dci{index}-{self.trace}-{self.middleware}"
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """One federated scenario: N tenants' BoTs over N DCIs and clouds.
+
+    The paper's headline deployment (§5, Figure 8): one SpeQuloS
+    instance serving several BE-DCIs, each backed by its own cloud.  A
+    routing policy (:mod:`repro.core.routing`) assigns each arriving
+    BoT to a DCI; one :class:`~repro.core.scheduler.CloudArbiter`
+    polices a single global worker budget and one shared credit pool
+    across every binding.
+
+    The ``seed`` fixes every DCI's trace realization (independent
+    streams per DCI index), the pool shuffles, the tenant stream and
+    the cloud worker powers, so two configs differing only in
+    ``routing`` or ``policy`` replay the same federated environment —
+    the cross-DCI analogue of the paper's paired-seed protocol
+    (§4.1.3).
+    """
+
+    dcis: Tuple[DCISpec, ...]
+    seed: int
+    n_tenants: int = 8
+    #: cycled over tenants (deterministic category mix)
+    categories: Tuple[str, ...] = ("SMALL",)
+    strategy: str = "9C-C-R"
+    strategy_threshold: float = 0.9
+    #: cloud arbitration policy: fifo | fairshare | deadline
+    policy: str = "fairshare"
+    #: BoT→DCI routing policy: round_robin | least_loaded | affinity
+    routing: str = "round_robin"
+    #: category→DCI-name pins for affinity routing ((category, name)
+    #: pairs; unmapped categories fall back to round robin)
+    affinity: Optional[Tuple[Tuple[str, str], ...]] = None
+    arrival_rate_per_hour: float = 2.0
+    arrivals: Optional[Tuple[float, ...]] = None
+    bot_size: Optional[int] = None
+    #: pooled credits as a fraction of the aggregate declared workload
+    pool_fraction: float = 0.10
+    #: global cap on concurrently active cloud workers over all DCIs
+    max_total_workers: Optional[int] = None
+    #: uniform per-DCI worker cap (DCISpec.worker_cap overrides)
+    max_dci_workers: Optional[int] = None
+    deadline_factor: Optional[float] = None
+    horizon_days: float = 15.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "dcis", tuple(self.dcis))
+        object.__setattr__(self, "categories", tuple(self.categories))
+        if self.affinity is not None:
+            object.__setattr__(self, "affinity",
+                               tuple((c, d) for c, d in self.affinity))
+        if self.arrivals is not None:
+            object.__setattr__(self, "arrivals", tuple(self.arrivals))
+        if not self.dcis:
+            raise ValueError("a federated scenario needs at least one DCI")
+        names = self.dci_names()
+        if len(set(names)) != len(names):
+            raise ValueError(f"DCI names must be unique, got {names}")
+        if self.n_tenants < 1:
+            raise ValueError("n_tenants must be >= 1")
+        if not self.categories:
+            raise ValueError("categories must be non-empty")
+        for cat in self.categories:
+            if cat.upper() not in BOT_CATEGORIES:
+                raise ValueError(f"unknown BoT category {cat!r}")
+        if self.policy not in ARBITRATION_POLICIES:
+            raise ValueError(f"unknown arbitration policy {self.policy!r}")
+        if self.routing not in ROUTING_POLICIES:
+            raise ValueError(f"unknown routing policy {self.routing!r}")
+        for cat, dci in self.affinity or ():
+            if cat.upper() not in BOT_CATEGORIES:
+                raise ValueError(f"unknown BoT category {cat!r} in affinity")
+            if dci not in names:
+                raise ValueError(f"affinity target {dci!r} is not a DCI "
+                                 f"of this scenario ({names})")
+        if self.arrival_rate_per_hour <= 0:
+            raise ValueError("arrival_rate_per_hour must be positive")
+        if self.arrivals is not None and len(self.arrivals) != self.n_tenants:
+            raise ValueError("arrivals must list one instant per tenant")
+        if not 0.0 < self.pool_fraction <= 1.0:
+            raise ValueError("pool_fraction must be in (0, 1]")
+        if (self.max_total_workers is not None
+                and self.max_total_workers < 1):
+            raise ValueError("max_total_workers must be >= 1 or None")
+        if self.max_dci_workers is not None and self.max_dci_workers < 1:
+            raise ValueError("max_dci_workers must be >= 1 or None")
+        if self.horizon_days <= 0:
+            raise ValueError("horizon_days must be positive")
+
+    # ------------------------------------------------------------------
+    def with_routing(self, routing: str) -> "ScenarioConfig":
+        """The paired scenario under a different routing policy."""
+        return replace(self, routing=routing)
+
+    def with_policy(self, policy: str) -> "ScenarioConfig":
+        """The paired scenario under a different arbitration policy."""
+        return replace(self, policy=policy)
+
+    @property
+    def horizon(self) -> float:
+        return self.horizon_days * 86400.0
+
+    def dci_names(self) -> Tuple[str, ...]:
+        return tuple(spec.resolved_name(i)
+                     for i, spec in enumerate(self.dcis))
+
+    def affinity_map(self) -> dict:
+        return {cat.upper(): dci for cat, dci in self.affinity or ()}
+
+    def expected_total_size(self) -> int:
+        """Nominal aggregate task count across the tenant stream."""
+        return sum(
+            _category_size(self.categories[i % len(self.categories)],
+                           self.bot_size)
+            for i in range(self.n_tenants))
+
+    def node_cap_for(self, spec: DCISpec) -> int:
+        """Materialized node count for one DCI of the federation.
+
+        Sized for the *aggregate* demand: affinity (and a pathological
+        least-loaded run) may route every tenant to the same DCI, so
+        each realization must be able to absorb the whole stream.
+        ``DCISpec.max_nodes`` takes precedence (the EDGI preset bounds
+        XW@LRI to 200 nodes, as the paper does).
+        """
+        if spec.max_nodes is not None:
+            return spec.max_nodes
+        return _auto_node_cap(spec.trace, spec.middleware,
+                              self.expected_total_size())
+
+    def label(self) -> str:
+        cats = "+".join(c.upper() for c in self.categories)
+        return (f"fed{len(self.dcis)}/{self.routing}/{self.policy}"
+                f"/{cats}/x{self.n_tenants}/s{self.seed}")
 
 
 @dataclass(frozen=True)

@@ -16,7 +16,11 @@ Campaign grids (scaled by :class:`~repro.experiments.config.CampaignScale`):
   paper's recommended ``9C-C-R`` combination;
 * **contention sweep** (beyond the paper's grid): 1→N concurrent
   tenants sharing one DCI + Cloud + credit pool under each arbitration
-  policy, reporting per-tenant slowdown and fairness.
+  policy, reporting per-tenant slowdown and fairness;
+* **federation sweep** (§5's Figure 8 regime): one SpeQuloS over
+  growing heterogeneous federations of DCIs and clouds, under each
+  BoT-to-DCI routing policy, reporting cross-DCI fairness and pool
+  usage.
 """
 
 from __future__ import annotations
@@ -31,6 +35,7 @@ from repro.analysis.cdf import ccdf_at, histogram_fractions
 from repro.analysis.metrics import tail_removal_efficiency
 from repro.campaign.executor import run_cached
 from repro.campaign.spec import (
+    FederatedSweepSpec,
     MultiTenantSweepSpec,
     SweepSpec,
     scaled_bot_sizes,
@@ -51,6 +56,7 @@ __all__ = [
     "figure7_report", "table4_report", "table5_report",
     "ablation_threshold_report", "ablation_budget_report",
     "ablation_middleware_report", "contention_report",
+    "federation_report", "federation_sweep",
 ]
 
 MIDDLEWARE = ("boinc", "xwhep")
@@ -515,12 +521,9 @@ def table4_report(scale: Optional[CampaignScale] = None,
 # ---------------------------------------------------------------------------
 def table5_report(duration_days: float = 2.0, seed: int = 5,
                   n_bots: int = 12) -> ExperimentReport:
-    from repro.deployment.edgi import EDGIDeployment
-    summary = run_cached(
-        {"experiment": "edgi_deployment", "duration_days": duration_days,
-         "seed": seed, "n_bots": n_bots},
-        compute=lambda: EDGIDeployment(seed=seed).run(
-            duration_days=duration_days, n_bots=n_bots))
+    from repro.deployment.edgi import EDGIConfig
+    summary = run_cached(EDGIConfig(seed=seed, duration_days=duration_days,
+                                    n_bots=n_bots))
     rep = ExperimentReport(
         "Table 5", "EDGI-style deployment: tasks executed per "
                    "infrastructure component")
@@ -673,6 +676,110 @@ def contention_report(scale: Optional[CampaignScale] = None,
     rep.tables.append(table)
     rep.notes.append(f"seeds per point: {len(seeds)}; BoT size 40 "
                      f"(SMALL tasks); strategy 9C-C-D")
+    return rep
+
+
+# ---------------------------------------------------------------------------
+# Federation sweep — one SpeQuloS over many DCIs and clouds (§5, Fig. 8)
+# ---------------------------------------------------------------------------
+FEDERATION_ROUTINGS = ("round_robin", "least_loaded")
+
+
+def federation_sweep(scale: CampaignScale) -> FederatedSweepSpec:
+    """The federation report's grid: DCI count x routing x seed.
+
+    DCI templates grow a heterogeneous federation — a huge volatile
+    desktop grid (seti/boinc), a tiny 10-node lab grid (nd/xwhep, the
+    one round-robin drowns) and a Grid'5000 harvest bounded to 200
+    nodes as in the paper's XW@LRI.  The two-DCI point is the
+    *reference federated scenario*: 8 tenants' 100-task BoTs with a
+    pool worth 2 % of the aggregate workload and an 8-worker global
+    budget, where routing quality shows directly in the max/min
+    slowdown spread.
+    """
+    seeds = tuple(6000 + i for i in range(max(2, scale.seeds_per_env - 1)))
+    return FederatedSweepSpec(
+        dci_traces=("seti", "nd", "g5klyo"),
+        dci_middlewares=("boinc", "xwhep", "xwhep"),
+        dci_max_nodes=(None, 10, 200),
+        n_dcis=(1, 2, 3),
+        routings=FEDERATION_ROUTINGS,
+        policies=("fairshare",),
+        seeds=seeds,
+        n_tenants=8, bot_size=100, strategy="9C-C-R",
+        pool_fraction=0.02, max_total_workers=8,
+        arrival_rate_per_hour=2.0, deadline_factor=0.5,
+        horizon_days=2.0)
+
+
+def federation_report(scale: Optional[CampaignScale] = None
+                      ) -> ExperimentReport:
+    """Slowdown and pool usage vs DCI count and routing policy.
+
+    The scenario family the paper's Figure 8 deployment implies but
+    never measures: the same tenant stream over growing federations,
+    under blind round-robin vs live-load routing, with one arbiter
+    rationing the shared pool and worker budget across every binding.
+    """
+    scale = scale or get_scale()
+    sweep = federation_sweep(scale)
+    cfgs = sweep.expand()
+    by_axes = {(c.routing, len(c.dcis), c.seed): r
+               for c, r in zip(cfgs, run_campaign(cfgs))}
+    rep = ExperimentReport(
+        "Federation", "One SpeQuloS over many DCIs and clouds: slowdown "
+                      "and pool usage vs DCI count and routing policy")
+    table = TextTable(
+        "Federation sweep (mean over seeds)",
+        ["routing", "DCIs", "mean slowdown", "max/min spread",
+         "jain index", "pool spent %", "peak workers", "censored"],
+        note="heterogeneous DCIs (seti/boinc + nd/xwhep@10 + g5klyo/"
+             "xwhep@200); live-load routing avoids drowning the tiny "
+             "desktop grid that blind round-robin overloads")
+    for routing in sweep.routings:
+        for n in sweep.n_dcis:
+            rs = [by_axes[(routing, n, s)] for s in sweep.seeds]
+            table.add_row(
+                routing, str(n),
+                f"{float(np.mean([np.mean(r.slowdowns) for r in rs])):.2f}",
+                f"{float(np.mean([r.slowdown_spread for r in rs])):.2f}",
+                f"{float(np.mean([r.fairness for r in rs])):.3f}",
+                f"{float(np.mean([r.pool_used_pct for r in rs])):.1f}",
+                f"{float(np.mean([r.workers_peak for r in rs])):.1f}",
+                str(sum(r.censored_count for r in rs)))
+    rep.tables.append(table)
+
+    # per-DCI accounting of the largest federation (first seed)
+    n_max = max(sweep.n_dcis)
+    for routing in sweep.routings:
+        res = by_axes[(routing, n_max, sweep.seeds[0])]
+        table = TextTable(
+            f"Per-DCI accounting, {n_max} DCIs, {routing} "
+            f"(seed {sweep.seeds[0]})",
+            ["DCI", "trace", "cloud", "tenants", "DG tasks",
+             "cloud tasks", "peak workers", "cloud CPUh"])
+        for d in res.dcis:
+            table.add_row(d.name, d.trace, d.provider,
+                          str(d.tenants_assigned), str(d.completions),
+                          str(d.cloud_tasks), str(d.workers_peak),
+                          f"{d.cloud_cpu_hours:.1f}")
+        rep.tables.append(table)
+
+    ref_n = 2
+    spreads = {
+        routing: float(np.mean([by_axes[(routing, ref_n, s)].slowdown_spread
+                                for s in sweep.seeds]))
+        for routing in sweep.routings}
+    winner = min(spreads, key=spreads.get)
+    rep.notes.append(
+        f"reference scenario ({ref_n} DCIs): max/min slowdown spread "
+        + ", ".join(f"{r} {v:.2f}" for r, v in spreads.items())
+        + f" — {winner} routing serves the tenants most evenly")
+    rep.notes.append(f"seeds per point: {len(sweep.seeds)}; "
+                     f"{sweep.n_tenants} tenants x {sweep.bot_size} tasks; "
+                     f"strategy {sweep.strategy}; pool "
+                     f"{sweep.pool_fraction:.0%} of aggregate workload; "
+                     f"global budget {sweep.max_total_workers} workers")
     return rep
 
 

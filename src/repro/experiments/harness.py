@@ -1,0 +1,290 @@
+"""Scenario harness: the single world-assembly path for all executions.
+
+Every execution family — single-BoT (:func:`~repro.experiments.runner.
+run_execution`), multi-tenant (:func:`~repro.experiments.runner.
+run_multi_tenant`), federated (:func:`~repro.experiments.runner.
+run_federated`) and the EDGI deployment preset — used to assemble its
+world by hand: synthesize trace realizations, wrap them in node pools,
+stand up middleware servers, cloud drivers and one SpeQuloS service,
+wire completion observers, and collect accounting afterwards.  The
+:class:`ScenarioHarness` centralizes that assembly so the entry points
+are thin specializations of one federated-capable path: N DCIs (each a
+trace realization + middleware server + cloud driver), one lazily
+created SpeQuloS over all of them, shared stop-on-completion watchers
+and per-DCI accounting probes.
+
+RNG discipline (drift-critical): every component draws from an
+independent, explicitly labelled stream —
+
+* trace realization   ``[seed, *stream, 0xACE]``
+* node-pool shuffle   ``[seed, *stream, 0xB00]``
+* cloud worker powers ``[seed, *stream, 0xC10]``
+
+where ``stream`` is empty for single-DCI scenarios (bit-identical to
+the historical layout) and ``(dci_index,)`` in a federation, so two
+DCIs sharing a trace name still realize *different* environments.
+
+Trace-realization cache: materialized interval arrays are cached per
+``(trace, seed-stream, cap, horizon)`` with true LRU eviction — paired
+with/without runs, the 18-combination strategy grid and every DCI of a
+federated sweep replay the same environments, so regeneration would be
+pure waste.  Capacity comes from ``REPRO_TRACE_CACHE`` (default 6;
+federated scenarios materialize several traces per execution and would
+silently thrash a smaller cache); hit/miss/eviction counters are kept
+on the cache object.  Only raw interval arrays are cached — Node
+objects carry a scan cursor and are rebuilt per execution.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cloud.api import ComputeDriver
+from repro.cloud.registry import get_driver
+from repro.core.scheduler import CloudArbiter, SchedulerConfig
+from repro.core.service import SpeQuloS
+from repro.infra.catalog import get_trace_spec
+from repro.infra.node import Node
+from repro.infra.pool import NodePool
+from repro.middleware import make_server
+from repro.middleware.base import DGServer
+from repro.simulator.engine import Simulation
+
+__all__ = ["TraceCache", "TRACE_CACHE", "HarnessDCI", "ScenarioHarness"]
+
+
+# ---------------------------------------------------------------------------
+# trace realization cache (per process, true LRU)
+# ---------------------------------------------------------------------------
+_TraceKey = Tuple[str, Tuple[int, ...], int, float]
+_RawNodes = List[Tuple[np.ndarray, np.ndarray, float, str]]
+
+
+class TraceCache:
+    """LRU cache of materialized trace realizations (raw arrays only)."""
+
+    def __init__(self) -> None:
+        self._entries: "OrderedDict[_TraceKey, _RawNodes]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @staticmethod
+    def capacity() -> int:
+        """Entry cap from ``REPRO_TRACE_CACHE`` (default 6, min 1)."""
+        return max(1, int(os.environ.get("REPRO_TRACE_CACHE", "6")))
+
+    def materialize(self, trace: str, seed: int, cap: int, horizon: float,
+                    stream: Sequence[int] = ()) -> List[Node]:
+        """Nodes of one trace realization, rebuilt from cached arrays.
+
+        ``stream`` extends the RNG label (a federated scenario passes
+        the DCI index so same-trace DCIs realize independently); the
+        empty stream reproduces the historical single-DCI layout.
+        """
+        key = (trace, (seed, *stream), cap, horizon)
+        raw = self._entries.get(key)
+        if raw is None:
+            self.misses += 1
+            rng = np.random.default_rng([seed, *stream, 0xACE])
+            nodes = get_trace_spec(trace).materialize(rng, horizon, cap)
+            raw = [(n.starts, n.ends, n.power, n.tag) for n in nodes]
+            while len(self._entries) >= self.capacity():
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            self._entries[key] = raw
+        else:
+            # LRU: a hit refreshes the entry so hot environments survive
+            # campaign sweeps that touch more traces than the cache holds.
+            self.hits += 1
+            self._entries.move_to_end(key)
+        return [Node(i, power, starts, ends, tag=tag)
+                for i, (starts, ends, power, tag) in enumerate(raw)]
+
+    # ------------------------------------------------------------------
+    def keys(self) -> List[_TraceKey]:
+        return list(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def reset_stats(self) -> None:
+        self.hits = self.misses = self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def summary(self) -> str:
+        return (f"{self.hits} hits, {self.misses} misses, "
+                f"{self.evictions} evictions, {len(self)} entries "
+                f"(cap {self.capacity()})")
+
+
+#: process-wide cache shared by every runner entry point
+TRACE_CACHE = TraceCache()
+
+
+# ---------------------------------------------------------------------------
+@dataclass
+class HarnessDCI:
+    """One assembled BE-DCI: server over a node pool + supporting cloud.
+
+    Doubles as a routing target (:mod:`repro.core.routing` reads
+    ``name`` and the ``server`` load probes).
+    """
+
+    name: str
+    server: DGServer
+    driver: ComputeDriver
+    pool: NodePool
+
+
+class ScenarioHarness:
+    """Builds and drives one simulated world of N DCIs + one SpeQuloS.
+
+    The harness owns the :class:`Simulation` and the DCI registry;
+    the SpeQuloS service is created lazily (plain-monitoring baselines
+    never pay for one) and automatically connected to every DCI, in
+    declaration order.  Entry points remain responsible for their own
+    submission streams — the harness provides the shared verbs:
+    :meth:`build_dci`/:meth:`add_dci` assembly, :meth:`admit_pooled`
+    QoS admission, :meth:`stop_when_complete` watchers, and the
+    accounting probes (:meth:`cloud_task_count`, :meth:`workers_peak`).
+    """
+
+    def __init__(self, horizon: float,
+                 arbiter: Optional[CloudArbiter] = None,
+                 scheduler_config: Optional[SchedulerConfig] = None):
+        self.sim = Simulation(horizon=horizon)
+        self.arbiter = arbiter
+        self.scheduler_config = scheduler_config
+        self.dcis: "OrderedDict[str, HarnessDCI]" = OrderedDict()
+        self._service: Optional[SpeQuloS] = None
+
+    # ------------------------------------------------------------------
+    # assembly
+    # ------------------------------------------------------------------
+    def add_dci(self, name: str, server: DGServer, driver: ComputeDriver,
+                pool: Optional[NodePool] = None) -> HarnessDCI:
+        """Register pre-built DCI parts (deployment presets build their
+        own servers/pools to preserve historical RNG streams)."""
+        if name in self.dcis:
+            raise ValueError(f"DCI {name!r} already assembled")
+        dci = HarnessDCI(name=name, server=server, driver=driver,
+                         pool=pool if pool is not None else server.pool)
+        self.dcis[name] = dci
+        if self._service is not None:
+            self._service.connect_dci(name, server, driver)
+        return dci
+
+    def build_dci(self, name: str, trace: str, middleware: str, seed: int,
+                  cap: int, provider: str = "simulation",
+                  stream: Sequence[int] = (),
+                  middleware_config: Optional[object] = None) -> HarnessDCI:
+        """Assemble one DCI from its declarative description."""
+        nodes = TRACE_CACHE.materialize(trace, seed, cap, self.sim.horizon,
+                                        stream)
+        pool = NodePool(nodes,
+                        rng=np.random.default_rng([seed, *stream, 0xB00]))
+        server = make_server(middleware, self.sim, pool,
+                             config=middleware_config, name=name)
+        driver = get_driver(provider, self.sim,
+                            rng=np.random.default_rng([seed, *stream, 0xC10]))
+        return self.add_dci(name, server, driver, pool)
+
+    # ------------------------------------------------------------------
+    # service
+    # ------------------------------------------------------------------
+    @property
+    def service(self) -> SpeQuloS:
+        """The SpeQuloS instance over every DCI (created on first use)."""
+        if self._service is None:
+            self._service = SpeQuloS(self.sim, arbiter=self.arbiter,
+                                     scheduler_config=self.scheduler_config)
+            for dci in self.dcis.values():
+                self._service.connect_dci(dci.name, dci.server, dci.driver)
+        return self._service
+
+    @property
+    def has_service(self) -> bool:
+        return self._service is not None
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def admit_pooled(self, sub, dci_name: str, combo,
+                     pool_id: str) -> None:
+        """Admit one tenant submission on a DCI against a shared pool."""
+        service = self.service
+        service.register_qos(sub.bot, dci_name, combo,
+                             deadline=sub.deadline)
+        service.order_qos_pooled(sub.bot_id, pool_id)
+        self.dcis[dci_name].server.submit_bot(sub.bot, at=self.sim.now)
+
+    def stop_when_complete(self, bot_ids: Iterable[str]) -> None:
+        """Stop the simulation once every listed BoT has completed.
+
+        One shared watcher is attached to every assembled server, so
+        completions count no matter which DCI hosts the BoT.
+        """
+        pending = set(bot_ids)
+        sim = self.sim
+
+        class _StopWhenAllDone:
+            def on_bot_completed(self, bot_id: str, t: float) -> None:
+                pending.discard(bot_id)
+                if not pending:
+                    sim.stop()
+
+        watcher = _StopWhenAllDone()
+        for dci in self.dcis.values():
+            dci.server.add_observer(watcher)
+
+    def run(self, until: Optional[float] = None) -> float:
+        return self.sim.run(until=until)
+
+    # ------------------------------------------------------------------
+    # accounting probes
+    # ------------------------------------------------------------------
+    def cloud_task_count(self, name: str) -> int:
+        """Tasks executed by the DCI's cloud workers.
+
+        Flat/Reschedule cloud assignments are counted by the server;
+        Cloud-duplication completions are tracked per coordinator, so
+        runs bound to this DCI's server contribute theirs.
+        """
+        dci = self.dcis[name]
+        total = dci.server.stats.cloud_assignments
+        if self._service is not None:
+            for run in self._service.scheduler.runs.values():
+                if run.server is dci.server and run.coordinator is not None:
+                    total += run.coordinator.completions
+        return total
+
+    def workers_peak(self) -> int:
+        """Exact peak of concurrently alive cloud workers, all clouds.
+
+        One delta-sweep over every driver's instance history — the
+        number a federation's *global* worker budget is checked
+        against (summing per-driver peaks would over-count, since each
+        cloud peaks at a different time).
+        """
+        from repro.cloud.api import peak_concurrency
+        return peak_concurrency(inst for dci in self.dcis.values()
+                                for inst in dci.driver.instances.values())
+
+    def runs_for_server(self, server: DGServer) -> List:
+        """QoS runs bound to one DCI's server (accounting helper)."""
+        if self._service is None:
+            return []
+        return [run for run in self._service.scheduler.runs.values()
+                if run.server is server]
+
+    def routing_targets(self) -> List[HarnessDCI]:
+        """The DCIs as an ordered routing-target list."""
+        return list(self.dcis.values())

@@ -1,31 +1,32 @@
-"""Execution runner: one config in, one result out — plus the parallel
+"""Execution runners: one config in, one result out — plus the parallel
 campaign fan-out.
 
-The runner assembles the full stack for each execution: synthesize the
-BE-DCI trace, build the middleware server over a node pool, draw the
-BoT, optionally stand up a complete SpeQuloS service (Information +
-Credit + Oracle + Scheduler + cloud driver), submit, and simulate to
-completion (or to the horizon, in which case the result is censored).
+All world assembly lives in the :class:`~repro.experiments.harness.
+ScenarioHarness`: each entry point below builds its DCIs, service and
+submission stream through the harness and only keeps its own result
+shaping.  Three scenario families share the path:
 
-Trace realizations are cached per (trace, seed, cap, horizon) within a
-process, with true LRU eviction: the paired with/without runs and the
-18-combination strategy grid replay the same environment, so
-regeneration would be pure waste.  Only the raw interval arrays are
-cached — Node objects carry a scan cursor and are rebuilt per
-execution.
+* :func:`run_execution` — one BoT on one BE-DCI (optionally with
+  SpeQuloS), the paper's §4 campaign unit;
+* :func:`run_multi_tenant` — N users' BoTs arriving over time on *one*
+  shared BE-DCI + Cloud + credit pool under an arbitration policy —
+  the contention regime of the EDGI deployment (§5);
+* :func:`run_federated` — N users' BoTs over *several* DCIs, each its
+  own trace realization, middleware and cloud, with a routing policy
+  assigning BoTs to DCIs and one arbiter policing the global worker
+  budget and the shared pool — the paper's headline topology (Figure
+  8) as a reproducible scenario family.
 
-Multi-tenant entry point: :func:`run_multi_tenant` simulates N users'
-BoTs arriving over time on *one* shared BE-DCI + Cloud + credit pool,
-under a chosen arbitration policy, and reports per-tenant slowdown and
-fairness — the contention regime of the EDGI deployment (§5).
+Trace realizations are cached per (trace, seed-stream, cap, horizon)
+with true LRU eviction (``REPRO_TRACE_CACHE`` entries, hit/miss
+counters on :data:`~repro.experiments.harness.TRACE_CACHE`).
 """
 
 from __future__ import annotations
 
 import time
-from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Type
 
 import numpy as np
 
@@ -38,22 +39,24 @@ from repro.analysis.metrics import (
     tail_fraction_of_time,
     tail_slowdown,
 )
-from repro.cloud.registry import get_driver
 from repro.core.credit import CREDITS_PER_CPU_HOUR
+from repro.core.routing import make_router
 from repro.core.scheduler import CloudArbiter
 from repro.core.service import SpeQuloS
-from repro.core.strategies import parse_combo
-from repro.experiments.config import ExecutionConfig, MultiTenantConfig
-from repro.infra.catalog import get_trace_spec
-from repro.infra.node import Node
-from repro.infra.pool import NodePool
-from repro.middleware import make_server
-from repro.simulator.engine import Simulation
+from repro.core.strategies import StrategyCombo, parse_combo
+from repro.experiments.config import (
+    ExecutionConfig,
+    MultiTenantConfig,
+    ScenarioConfig,
+)
+from repro.experiments.harness import ScenarioHarness
 from repro.workload.generator import make_bot
-from repro.workload.tenants import generate_tenants
+from repro.workload.tenants import TenantSubmission, generate_tenants
 
 __all__ = ["ExecutionResult", "run_execution", "run_campaign",
-           "TenantOutcome", "MultiTenantResult", "run_multi_tenant"]
+           "TenantOutcome", "MultiTenantResult", "run_multi_tenant",
+           "DCIOutcome", "FederatedTenantOutcome", "FederatedResult",
+           "run_federated"]
 
 
 @dataclass
@@ -93,30 +96,29 @@ class ExecutionResult:
 
 
 # ---------------------------------------------------------------------------
-# trace realization cache (per process, true LRU)
+# shared outcome collection
 # ---------------------------------------------------------------------------
-_TraceKey = Tuple[str, int, int, float]
-_trace_cache: "OrderedDict[_TraceKey, List[Tuple[np.ndarray, np.ndarray, float, str]]]" = OrderedDict()
-_TRACE_CACHE_MAX = 6
+def _observed_profile(mon, horizon: float):
+    """(completion profile, censored?) of one monitored BoT.
 
-
-def _materialize_cached(trace: str, seed: int, cap: int,
-                        horizon: float) -> List[Node]:
-    key = (trace, seed, cap, horizon)
-    raw = _trace_cache.get(key)
-    if raw is None:
-        rng = np.random.default_rng([seed, 0xACE])
-        nodes = get_trace_spec(trace).materialize(rng, horizon, cap)
-        raw = [(n.starts, n.ends, n.power, n.tag) for n in nodes]
-        while len(_trace_cache) >= _TRACE_CACHE_MAX:
-            _trace_cache.popitem(last=False)
-        _trace_cache[key] = raw
+    A censored BoT scores its unfinished tasks at the horizon,
+    relative to its own submission instant.
+    """
+    censored = not mon.done
+    if censored:
+        missing = mon.total - mon.completed_count
+        times = np.concatenate([np.asarray(mon.completion_times),
+                                np.full(missing, horizon - mon.t0)])
     else:
-        # LRU: a hit refreshes the entry so hot environments survive
-        # campaign sweeps that touch more traces than the cache holds.
-        _trace_cache.move_to_end(key)
-    return [Node(i, power, starts, ends, tag=tag)
-            for i, (starts, ends, power, tag) in enumerate(raw)]
+        times = np.asarray(mon.completion_times)
+    return CompletionProfile(np.sort(times)), censored
+
+
+def _resolve_combo(strategy: str, threshold: float) -> StrategyCombo:
+    combo = parse_combo(strategy)
+    if threshold != combo.threshold:
+        combo = combo.with_threshold(threshold)
+    return combo
 
 
 # ---------------------------------------------------------------------------
@@ -134,24 +136,20 @@ def run_execution(cfg: ExecutionConfig,
     wall0 = time.perf_counter()
     horizon = cfg.horizon
 
-    nodes = _materialize_cached(cfg.trace, cfg.seed, cfg.node_cap(), horizon)
-    sim = Simulation(horizon=horizon)
-    pool = NodePool(nodes, rng=np.random.default_rng([cfg.seed, 0xB00]))
-    server = make_server(cfg.middleware, sim, pool,
-                         config=middleware_config)
+    harness = ScenarioHarness(horizon)
+    dci = harness.build_dci(cfg.env_name(), cfg.trace, cfg.middleware,
+                            cfg.seed, cfg.node_cap(),
+                            provider=cfg.provider,
+                            middleware_config=middleware_config)
+    server = dci.server
     bot = make_bot(cfg.category, np.random.default_rng([cfg.seed, 0xB07]),
                    bot_id=f"bot-{cfg.seed}", size_override=cfg.bot_size)
 
     service: Optional[SpeQuloS] = None
     bot_id = bot.bot_id
     if cfg.strategy is not None:
-        combo = parse_combo(cfg.strategy)
-        if cfg.strategy_threshold != combo.threshold:
-            combo = combo.with_threshold(cfg.strategy_threshold)
-        service = SpeQuloS(sim)
-        driver = get_driver(cfg.provider, sim,
-                            rng=np.random.default_rng([cfg.seed, 0xC10]))
-        service.connect_dci(cfg.env_name(), server, driver)
+        combo = _resolve_combo(cfg.strategy, cfg.strategy_threshold)
+        service = harness.service
         service.register_qos(bot, cfg.env_name(), combo)
         provision = (cfg.credit_fraction * bot.workload_cpu_hours
                      * CREDITS_PER_CPU_HOUR)
@@ -164,25 +162,12 @@ def run_execution(cfg: ExecutionConfig,
         monitor = BoTMonitor(bot, 0.0)
         server.add_observer(monitor)
 
-    class _Stop:
-        def on_bot_completed(self, bid: str, t: float) -> None:
-            if bid == bot_id:
-                sim.stop()
-
-    server.add_observer(_Stop())
+    harness.stop_when_complete([bot_id])
     server.submit_bot(bot, at=0.0)
-    sim.run()
+    harness.run()
 
     mon = service.monitor(bot_id) if service is not None else monitor
-    censored = not mon.done
-    if censored:
-        # Horizon reached: score unfinished tasks at the horizon.
-        missing = mon.total - mon.completed_count
-        times = np.concatenate([np.asarray(mon.completion_times),
-                                np.full(missing, horizon)])
-    else:
-        times = np.asarray(mon.completion_times)
-    profile = CompletionProfile(np.sort(times))
+    profile, censored = _observed_profile(mon, horizon)
 
     credits_prov = credits_spent = 0.0
     workers = 0
@@ -216,7 +201,7 @@ def run_execution(cfg: ExecutionConfig,
         workers_launched=workers,
         cloud_cpu_hours=cloud_hours,
         cloud_completions=cloud_completions,
-        events=sim.events_processed,
+        events=harness.sim.events_processed,
         wall_seconds=time.perf_counter() - wall0,
         server_stats=vars(server.stats).copy(),
     )
@@ -242,6 +227,39 @@ class TenantOutcome:
     slowdown: float
     credits_spent: float
     workers_launched: int
+
+
+def _tenant_outcome(service: SpeQuloS, sub: TenantSubmission,
+                    horizon: float, cls: Type = TenantOutcome,
+                    **extra) -> TenantOutcome:
+    """Collect one admitted tenant's outcome (settling its accounts)."""
+    run = service.run_for(sub.bot_id)
+    service.scheduler.finalize(run)  # settle accounts if censored
+    mon = service.monitor(sub.bot_id)
+    profile, censored = _observed_profile(mon, horizon)
+    order = service.credits.get_order(sub.bot_id)
+    return cls(
+        user=sub.user, bot_id=sub.bot_id, category=sub.bot.category,
+        arrival=sub.arrival, deadline=sub.deadline, n_tasks=sub.bot.size,
+        makespan=profile.makespan, censored=censored,
+        ideal_time=ideal_completion_time(profile),
+        slowdown=tail_slowdown(profile),
+        credits_spent=order.spent if order is not None else 0.0,
+        workers_launched=run.workers_launched, **extra)
+
+
+def _unadmitted_outcome(sub: TenantSubmission, horizon: float,
+                        cls: Type = TenantOutcome, **extra) -> TenantOutcome:
+    """A tenant never admitted before the horizon: fully censored."""
+    span = max(0.0, horizon - sub.arrival)
+    profile = CompletionProfile(np.full(sub.bot.size, span))
+    return cls(
+        user=sub.user, bot_id=sub.bot_id, category=sub.bot.category,
+        arrival=sub.arrival, deadline=sub.deadline, n_tasks=sub.bot.size,
+        makespan=profile.makespan, censored=True,
+        ideal_time=ideal_completion_time(profile),
+        slowdown=tail_slowdown(profile),
+        credits_spent=0.0, workers_launched=0, **extra)
 
 
 @dataclass
@@ -300,20 +318,15 @@ def run_multi_tenant(cfg: MultiTenantConfig) -> MultiTenantResult:
     wall0 = time.perf_counter()
     horizon = cfg.horizon
 
-    nodes = _materialize_cached(cfg.trace, cfg.seed, cfg.node_cap(), horizon)
-    sim = Simulation(horizon=horizon)
-    pool = NodePool(nodes, rng=np.random.default_rng([cfg.seed, 0xB00]))
-    server = make_server(cfg.middleware, sim, pool)
     arbiter = CloudArbiter(cfg.policy,
                            max_total_workers=cfg.max_total_workers)
-    service = SpeQuloS(sim, arbiter=arbiter)
-    driver = get_driver(cfg.provider, sim,
-                        rng=np.random.default_rng([cfg.seed, 0xC10]))
-    service.connect_dci(cfg.env_name(), server, driver)
+    harness = ScenarioHarness(horizon, arbiter=arbiter)
+    dci = harness.build_dci(cfg.env_name(), cfg.trace, cfg.middleware,
+                            cfg.seed, cfg.node_cap(),
+                            provider=cfg.provider)
+    service = harness.service
 
-    combo = parse_combo(cfg.strategy)
-    if cfg.strategy_threshold != combo.threshold:
-        combo = combo.with_threshold(cfg.strategy_threshold)
+    combo = _resolve_combo(cfg.strategy, cfg.strategy_threshold)
     tenants = generate_tenants(
         np.random.default_rng([cfg.seed, 0x7E7]), cfg.n_tenants,
         categories=cfg.categories,
@@ -328,85 +341,199 @@ def run_multi_tenant(cfg: MultiTenantConfig) -> MultiTenantResult:
     service.open_qos_pool(pool_id, "tenants", provision,
                           expected_members=cfg.n_tenants)
 
-    pending = {sub.bot_id for sub in tenants}
+    harness.stop_when_complete(sub.bot_id for sub in tenants)
 
-    class _StopWhenAllDone:
-        def on_bot_completed(self, bot_id: str, t: float) -> None:
-            pending.discard(bot_id)
-            if not pending:
-                sim.stop()
-
-    server.add_observer(_StopWhenAllDone())
-
-    def _admit(sub) -> None:
-        service.register_qos(sub.bot, cfg.env_name(), combo,
-                             deadline=sub.deadline)
-        service.order_qos_pooled(sub.bot_id, pool_id)
-        server.submit_bot(sub.bot, at=sim.now)
+    def _admit(sub: TenantSubmission) -> None:
+        harness.admit_pooled(sub, cfg.env_name(), combo, pool_id)
 
     for sub in tenants:
         if sub.arrival < horizon:
-            sim.at(sub.arrival, _admit, sub)
-    sim.run()
+            harness.sim.at(sub.arrival, _admit, sub)
+    harness.run()
 
     outcomes: List[TenantOutcome] = []
     for sub in tenants:
         if sub.bot_id not in service.scheduler.runs:
-            # never admitted before the horizon: fully censored
-            span = max(0.0, horizon - sub.arrival)
-            profile = CompletionProfile(np.full(sub.bot.size, span))
-            outcomes.append(TenantOutcome(
-                user=sub.user, bot_id=sub.bot_id,
-                category=sub.bot.category, arrival=sub.arrival,
-                deadline=sub.deadline, n_tasks=sub.bot.size,
-                makespan=profile.makespan, censored=True,
-                ideal_time=ideal_completion_time(profile),
-                slowdown=tail_slowdown(profile),
-                credits_spent=0.0, workers_launched=0))
-            continue
-        run = service.run_for(sub.bot_id)
-        service.scheduler.finalize(run)  # settle accounts if censored
-        mon = service.monitor(sub.bot_id)
-        censored = not mon.done
-        if censored:
-            missing = mon.total - mon.completed_count
-            times = np.concatenate([np.asarray(mon.completion_times),
-                                    np.full(missing, horizon - mon.t0)])
+            outcomes.append(_unadmitted_outcome(sub, horizon))
         else:
-            times = np.asarray(mon.completion_times)
-        profile = CompletionProfile(np.sort(times))
-        order = service.credits.get_order(sub.bot_id)
-        outcomes.append(TenantOutcome(
-            user=sub.user, bot_id=sub.bot_id, category=sub.bot.category,
-            arrival=sub.arrival, deadline=sub.deadline,
-            n_tasks=sub.bot.size,
-            makespan=profile.makespan, censored=censored,
-            ideal_time=ideal_completion_time(profile),
-            slowdown=tail_slowdown(profile),
-            credits_spent=order.spent if order is not None else 0.0,
-            workers_launched=run.workers_launched))
+            outcomes.append(_tenant_outcome(service, sub, horizon))
 
     spent, _refund = service.credits.close_pool(pool_id)
     return MultiTenantResult(
         config=cfg, tenants=outcomes,
         pool_provisioned=provision, pool_spent=spent,
-        workers_peak=_peak_concurrency(driver),
-        events=sim.events_processed,
+        workers_peak=dci.driver.peak_concurrency(),
+        events=harness.sim.events_processed,
         wall_seconds=time.perf_counter() - wall0)
 
 
-def _peak_concurrency(driver) -> int:
-    """Max simultaneously alive instances over the driver's history."""
-    deltas: List[Tuple[float, int]] = []
-    for inst in driver.instances.values():
-        deltas.append((inst.created_at, 1))
-        if inst.destroyed_at is not None:
-            deltas.append((inst.destroyed_at, -1))
-    peak = cur = 0
-    for _t, d in sorted(deltas):
-        cur += d
-        peak = max(peak, cur)
-    return peak
+# ---------------------------------------------------------------------------
+# federated scenarios (one SpeQuloS over many DCIs and clouds, §5 Fig. 8)
+# ---------------------------------------------------------------------------
+@dataclass
+class FederatedTenantOutcome(TenantOutcome):
+    """A tenant's outcome plus the DCI its BoT was routed to."""
+
+    #: resolved DCI name, or "-" when never admitted before the horizon
+    dci: str = "-"
+
+
+@dataclass
+class DCIOutcome:
+    """Per-DCI accounting of one federated scenario."""
+
+    name: str
+    trace: str
+    middleware: str
+    provider: str
+    #: tenants the router assigned here
+    tenants_assigned: int
+    #: tasks the DG server completed (DG + Flat/Reschedule cloud paths)
+    completions: int
+    #: tasks executed by this DCI's cloud workers (all deploy modes)
+    cloud_tasks: int
+    workers_launched: int
+    #: peak concurrently alive workers on this DCI's cloud
+    workers_peak: int
+    cloud_cpu_hours: float
+
+
+@dataclass
+class FederatedResult:
+    """Federated scenario outcome: per-tenant + per-DCI accounting."""
+
+    config: ScenarioConfig
+    tenants: List[FederatedTenantOutcome]
+    dcis: List[DCIOutcome]
+    pool_provisioned: float
+    pool_spent: float
+    #: exact peak of concurrently alive cloud workers over every cloud
+    #: (arbitration must keep this within the global worker budget)
+    workers_peak: int
+    events: int
+    wall_seconds: float
+
+    @property
+    def slowdowns(self) -> np.ndarray:
+        return np.asarray([t.slowdown for t in self.tenants])
+
+    @property
+    def censored_count(self) -> int:
+        return sum(1 for t in self.tenants if t.censored)
+
+    @property
+    def slowdown_spread(self) -> float:
+        """Max/min per-tenant slowdown across the whole federation —
+        the cross-DCI fairness figure of merit (routing + arbitration
+        together)."""
+        return max_min_ratio(self.slowdowns)
+
+    @property
+    def fairness(self) -> float:
+        """Jain's index over per-tenant slowdowns."""
+        return jain_fairness_index(self.slowdowns)
+
+    @property
+    def pool_used_pct(self) -> float:
+        if self.pool_provisioned <= 0:
+            return 0.0
+        return 100.0 * self.pool_spent / self.pool_provisioned
+
+    def tenants_on(self, dci_name: str) -> List[FederatedTenantOutcome]:
+        return [t for t in self.tenants if t.dci == dci_name]
+
+
+def run_federated(cfg: ScenarioConfig) -> FederatedResult:
+    """Simulate N tenants over a federation of DCIs and clouds.
+
+    One simulation hosts everything: each DCI realizes its own trace
+    (independent RNG stream per DCI index), the routing policy assigns
+    every arriving BoT to a DCI, and a single
+    :class:`~repro.core.scheduler.CloudArbiter` rations the global
+    worker budget, the optional per-DCI caps and the one shared credit
+    pool across all bindings.
+    """
+    wall0 = time.perf_counter()
+    horizon = cfg.horizon
+
+    names = cfg.dci_names()
+    dci_caps = {name: spec.worker_cap
+                for name, spec in zip(names, cfg.dcis)
+                if spec.worker_cap is not None}
+    arbiter = CloudArbiter(cfg.policy,
+                           max_total_workers=cfg.max_total_workers,
+                           max_dci_workers=cfg.max_dci_workers,
+                           dci_caps=dci_caps)
+    harness = ScenarioHarness(horizon, arbiter=arbiter)
+    for i, spec in enumerate(cfg.dcis):
+        harness.build_dci(names[i], spec.trace, spec.middleware, cfg.seed,
+                          cfg.node_cap_for(spec), provider=spec.provider,
+                          stream=(i,))
+    service = harness.service
+
+    combo = _resolve_combo(cfg.strategy, cfg.strategy_threshold)
+    tenants = generate_tenants(
+        np.random.default_rng([cfg.seed, 0x7E7]), cfg.n_tenants,
+        categories=cfg.categories,
+        rate_per_hour=cfg.arrival_rate_per_hour,
+        arrivals=cfg.arrivals, bot_size=cfg.bot_size,
+        deadline_factor=cfg.deadline_factor)
+
+    total_cpu_hours = sum(sub.bot.workload_cpu_hours for sub in tenants)
+    provision = cfg.pool_fraction * total_cpu_hours * CREDITS_PER_CPU_HOUR
+    pool_id = f"fedpool-{cfg.seed}"
+    service.credits.deposit("tenants", provision)
+    service.open_qos_pool(pool_id, "tenants", provision,
+                          expected_members=cfg.n_tenants)
+
+    harness.stop_when_complete(sub.bot_id for sub in tenants)
+
+    router = make_router(cfg.routing, affinity=cfg.affinity_map())
+    targets = harness.routing_targets()
+    routed: Dict[str, str] = {}
+
+    def _admit(sub: TenantSubmission) -> None:
+        index = router.route(sub.bot.category, targets, harness.sim.now)
+        dci_name = targets[index].name
+        routed[sub.bot_id] = dci_name
+        harness.admit_pooled(sub, dci_name, combo, pool_id)
+
+    for sub in tenants:
+        if sub.arrival < horizon:
+            harness.sim.at(sub.arrival, _admit, sub)
+    harness.run()
+
+    outcomes: List[FederatedTenantOutcome] = []
+    for sub in tenants:
+        if sub.bot_id not in service.scheduler.runs:
+            outcomes.append(_unadmitted_outcome(
+                sub, horizon, cls=FederatedTenantOutcome))
+        else:
+            outcomes.append(_tenant_outcome(
+                service, sub, horizon, cls=FederatedTenantOutcome,
+                dci=routed[sub.bot_id]))
+
+    dci_outcomes: List[DCIOutcome] = []
+    for name, spec in zip(names, cfg.dcis):
+        dci = harness.dcis[name]
+        runs = harness.runs_for_server(dci.server)
+        dci_outcomes.append(DCIOutcome(
+            name=name, trace=spec.trace, middleware=spec.middleware,
+            provider=spec.provider,
+            tenants_assigned=sum(1 for d in routed.values() if d == name),
+            completions=dci.server.stats.completions,
+            cloud_tasks=harness.cloud_task_count(name),
+            workers_launched=sum(r.workers_launched for r in runs),
+            workers_peak=dci.driver.peak_concurrency(),
+            cloud_cpu_hours=dci.driver.total_cpu_hours()))
+
+    spent, _refund = service.credits.close_pool(pool_id)
+    return FederatedResult(
+        config=cfg, tenants=outcomes, dcis=dci_outcomes,
+        pool_provisioned=provision, pool_spent=spent,
+        workers_peak=harness.workers_peak(),
+        events=harness.sim.events_processed,
+        wall_seconds=time.perf_counter() - wall0)
 
 
 # ---------------------------------------------------------------------------
@@ -451,10 +578,11 @@ def run_campaign(configs: Sequence[object], n_jobs: Optional[int] = None,
     serial execution if the pool cannot start or breaks mid-run), and
     every finished result is persisted so interrupted campaigns resume.
 
-    Accepts :class:`ExecutionConfig` and :class:`MultiTenantConfig`
-    entries (mixed freely); results come back in input order.
-    ``n_jobs=None`` defers to ``REPRO_JOBS`` / the machine size;
-    ``store=None`` bypasses caching.
+    Accepts :class:`ExecutionConfig`, :class:`MultiTenantConfig`,
+    :class:`ScenarioConfig` and
+    :class:`~repro.deployment.edgi.EDGIConfig` entries (mixed freely);
+    results come back in input order.  ``n_jobs=None`` defers to
+    ``REPRO_JOBS`` / the machine size; ``store=None`` bypasses caching.
     """
     from repro.campaign.executor import CampaignExecutor
     return CampaignExecutor(store=store, n_jobs=n_jobs,

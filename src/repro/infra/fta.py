@@ -24,7 +24,6 @@ reuse by external tools.
 
 from __future__ import annotations
 
-import io
 import os
 from collections import defaultdict
 from typing import Dict, List, Sequence, TextIO, Union

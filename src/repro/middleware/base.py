@@ -141,6 +141,17 @@ class DGServer:
         self._cloud_busy_since: Dict[int, float] = {}
 
     # ------------------------------------------------------------------
+    # load probes (federated routing, repro.core.routing)
+    # ------------------------------------------------------------------
+    def busy_count(self) -> int:
+        """Workers currently executing an execution unit."""
+        return len(self._busy)
+
+    def backlog(self) -> int:
+        """Execution units queued but not yet assigned to a worker."""
+        return len(self.pending)
+
+    # ------------------------------------------------------------------
     # submission
     # ------------------------------------------------------------------
     def submit_bot(self, bot: BagOfTasks, at: float = 0.0) -> None:

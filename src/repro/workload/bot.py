@@ -12,8 +12,8 @@ time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator, List, Sequence
+from dataclasses import dataclass
+from typing import Iterator, List
 
 __all__ = ["Task", "BagOfTasks"]
 

@@ -215,6 +215,64 @@ def test_salted_stores_do_not_share_entries(tmp_path):
     v2.close()
 
 
+# ------------------------------------------------------------ gc + stats
+def test_gc_drops_only_stale_salt_records(tmp_path):
+    path = str(tmp_path / "store.sqlite")
+    cfg = quick_cfg()
+    res = run_execution(cfg)
+    old = ResultStore(path, salt="v1")
+    old.put(cfg, res)
+    old.put(quick_cfg(seed=6), run_execution(quick_cfg(seed=6)))
+    old.close()
+    cur = ResultStore(path, salt="v2")
+    cur.put(cfg, res)
+    assert len(cur) == 3
+    rows, nbytes = cur.gc()
+    assert rows == 2 and nbytes > 0
+    assert len(cur) == 1
+    assert cur.get(cfg) is not None  # current record survives
+    # idempotent: a second pass reclaims nothing
+    assert cur.gc() == (0, 0)
+    cur.close()
+
+
+def test_gc_vacuum_shrinks_the_file(tmp_path):
+    path = str(tmp_path / "store.sqlite")
+    old = ResultStore(path, salt="v1")
+    for seed in range(5, 9):
+        cfg = quick_cfg(seed=seed)
+        old.put(cfg, run_execution(cfg))
+    old.close()
+    cur = ResultStore(path, salt="v2")
+    before = cur.file_bytes()
+    rows, _ = cur.gc(vacuum=True)
+    assert rows == 4
+    assert cur.file_bytes() < before
+    cur.close()
+
+
+def test_breakdown_splits_current_and_stale(tmp_path):
+    path = str(tmp_path / "store.sqlite")
+    cfg = quick_cfg()
+    res = run_execution(cfg)
+    old = ResultStore(path, salt="v1")
+    old.put(cfg, res)
+    old.put({"k": 1}, {"v": 2})
+    old.close()
+    cur = ResultStore(path, salt="v2")
+    cur.put(cfg, res)
+    assert cur.breakdown() == {
+        "execution": {"current": 1, "stale": 1},
+        "json": {"current": 0, "stale": 1}}
+    assert cur.file_bytes() > 0
+    cur.close()
+
+
+def test_in_memory_store_reports_zero_file_bytes(store):
+    assert store.file_bytes() == 0
+    assert store.gc() == (0, 0)
+
+
 # ------------------------------------------------------------- persistence
 def test_store_accepts_bare_relative_path(tmp_path, monkeypatch):
     """REPRO_STORE=results.sqlite (no directory part) must work."""

@@ -1,0 +1,93 @@
+"""Censoring edge paths: tenants past the horizon, empty-heap runs."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import (
+    DCISpec,
+    MultiTenantConfig,
+    ScenarioConfig,
+)
+from repro.experiments.runner import run_federated, run_multi_tenant
+from repro.simulator.engine import Simulation
+
+
+# -------------------------------------------------- never-admitted tenants
+def _two_tenant_cfg(**kw):
+    base = dict(trace="nd", middleware="xwhep", seed=2, n_tenants=2,
+                bot_size=20, strategy="9C-C-R", pool_fraction=0.10,
+                horizon_days=0.5)
+    base.update(kw)
+    return MultiTenantConfig(**base)
+
+
+def test_tenant_arriving_at_horizon_is_fully_censored():
+    horizon = 0.5 * 86400.0
+    cfg = _two_tenant_cfg(arrivals=(0.0, horizon))
+    res = run_multi_tenant(cfg)
+    admitted, skipped = res.tenants
+    assert not admitted.censored and admitted.makespan > 0
+    assert skipped.censored
+    # arrival == horizon: zero service time, scored as an all-zero
+    # profile with the neutral slowdown
+    assert skipped.makespan == 0.0
+    assert skipped.slowdown == 1.0
+    assert skipped.credits_spent == 0.0
+    assert skipped.workers_launched == 0
+    assert res.censored_count == 1
+
+
+def test_tenant_arriving_after_horizon_is_fully_censored():
+    horizon = 0.5 * 86400.0
+    res = run_multi_tenant(_two_tenant_cfg(arrivals=(0.0, horizon + 3600)))
+    skipped = res.tenants[1]
+    assert skipped.censored
+    assert skipped.makespan == 0.0  # negative span clamps to zero
+
+
+def test_unadmitted_tenant_still_counts_into_fairness_vector():
+    horizon = 0.5 * 86400.0
+    res = run_multi_tenant(_two_tenant_cfg(arrivals=(0.0, horizon)))
+    assert res.slowdowns.shape == (2,)
+    assert np.isfinite(res.fairness)
+
+
+def test_federated_unadmitted_tenant_has_no_dci():
+    horizon = 0.5 * 86400.0
+    cfg = ScenarioConfig(
+        dcis=(DCISpec(trace="nd", middleware="xwhep"),
+              DCISpec(trace="g5klyo", middleware="xwhep")),
+        seed=2, n_tenants=2, bot_size=20, horizon_days=0.5,
+        arrivals=(0.0, horizon + 1.0))
+    res = run_federated(cfg)
+    admitted, skipped = res.tenants
+    assert admitted.dci in cfg.dci_names()
+    assert skipped.censored and skipped.dci == "-"
+    # the router never saw the skipped tenant
+    assert sum(d.tenants_assigned for d in res.dcis) == 1
+
+
+# ------------------------------------------------------- empty-heap run()
+def test_run_until_with_empty_heap_is_a_noop():
+    sim = Simulation(horizon=1000.0)
+    assert sim.run(until=500.0) == 0.0
+    assert sim.now == 0.0
+    assert sim.events_processed == 0
+
+
+def test_run_until_after_heap_drains_keeps_last_event_time():
+    sim = Simulation(horizon=1000.0)
+    sim.at(5.0, lambda: None)
+    # the heap drains at t=5; the clock rests there, not at the bound
+    assert sim.run(until=500.0) == 5.0
+    # a second bounded run over the now-empty heap stays put
+    assert sim.run(until=800.0) == 5.0
+    assert sim.pending() == 0
+
+
+def test_run_with_only_cancelled_events_processes_nothing():
+    sim = Simulation(horizon=1000.0)
+    ev = sim.at(5.0, lambda: pytest.fail("cancelled event ran"))
+    ev.cancel()
+    sim.run(until=100.0)
+    assert sim.events_processed == 0

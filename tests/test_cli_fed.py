@@ -1,0 +1,89 @@
+"""CLI federation surface: ``repro fed`` and ``repro store``."""
+
+import pytest
+
+from repro.campaign.store import ResultStore
+from repro.cli import build_parser, main
+from repro.experiments.config import ExecutionConfig
+from repro.experiments.runner import run_execution
+
+
+def fed_args(*extra):
+    return ["fed", "--traces", "seti,nd", "--middlewares", "boinc,xwhep",
+            "--max-nodes=-,10", "--tenants", "2", "--bot-size", "20",
+            "--pool-fraction", "0.05", "--horizon-days", "2",
+            "--seed", "3", *extra]
+
+
+def test_cli_fed_prints_tenants_dcis_and_fairness(capsys):
+    rc = main(fed_args())
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "fed2/round_robin/fairshare/SMALL/x2/s3" in out
+    assert "dci0-seti-boinc" in out and "dci1-nd-xwhep" in out
+    assert "user0" in out and "user1" in out
+    assert "pool:" in out and "fairness:" in out
+    assert "DCI dci0-seti-boinc" in out
+
+
+def test_cli_fed_routing_and_budget_flags(capsys):
+    rc = main(fed_args("--routing", "least_loaded", "--policy", "fifo",
+                       "--max-workers", "4", "--dci-workers", "2"))
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "fed2/least_loaded/fifo/SMALL/x2/s3" in out
+
+
+def test_cli_fed_affinity_pins(capsys):
+    rc = main(fed_args("--routing", "affinity",
+                       "--affinity", "SMALL=dci1-nd-xwhep"))
+    out = capsys.readouterr().out
+    assert rc == 0
+    # both tenants are SMALL, so both land on the pinned DCI
+    assert out.count("-> dci1-nd-xwhep") == 2
+
+
+def test_cli_fed_rejects_malformed_affinity(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(fed_args("--routing", "affinity", "--affinity", "SMALL"))
+    assert "--affinity entry 'SMALL'" in str(exc.value)
+
+
+def test_cli_fed_help_mentions_routing(capsys):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["fed", "--help"])
+    out = capsys.readouterr().out
+    assert "routing" in out and "least_loaded" in out
+
+
+def test_cli_store_stats_and_gc(capsys, tmp_path, monkeypatch):
+    path = str(tmp_path / "store.sqlite")
+    monkeypatch.setenv("REPRO_STORE", path)
+    cfg = ExecutionConfig(trace="nd", middleware="xwhep",
+                          category="SMALL", seed=5, bot_size=40)
+    res = run_execution(cfg)
+    stale = ResultStore(path, salt="old")
+    stale.put(cfg, res)
+    stale.close()
+    current = ResultStore(path)
+    current.put(cfg, res)
+    current.close()
+
+    assert main(["store", "stats"]) == 0
+    out = capsys.readouterr().out
+    assert "2 records" in out
+    assert "execution" in out and "stale" in out
+
+    assert main(["store", "gc"]) == 0
+    out = capsys.readouterr().out
+    assert "reclaimed 1 stale rows" in out
+    assert "1 records remain" in out
+
+    # second gc finds nothing left to reclaim
+    main(["store", "gc"])
+    assert "reclaimed 0 stale rows" in capsys.readouterr().out
+
+
+def test_cli_report_lists_federation():
+    args = build_parser().parse_args(["report", "federation"])
+    assert args.name == "federation"

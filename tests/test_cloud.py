@@ -1,6 +1,5 @@
 """Cloud substrate: drivers, instances, worker agents, coordinators."""
 
-import math
 
 import numpy as np
 import pytest

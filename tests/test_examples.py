@@ -17,9 +17,10 @@ EXAMPLES_DIR = os.path.join(os.path.dirname(os.path.dirname(
 
 ALL_EXAMPLES = ["quickstart.py", "spot_market.py", "custom_trace.py",
                 "edgi_deployment.py", "strategy_comparison.py",
-                "prediction_service.py"]
+                "prediction_service.py", "federated_scenario.py"]
 
-FAST_EXAMPLES = ["custom_trace.py", "edgi_deployment.py"]
+FAST_EXAMPLES = ["custom_trace.py", "edgi_deployment.py",
+                 "federated_scenario.py"]
 
 
 @pytest.mark.parametrize("name", ALL_EXAMPLES)

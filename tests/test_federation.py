@@ -1,0 +1,349 @@
+"""Federated scenario layer: routing, configs, arbitration, store.
+
+Headline scenario (the acceptance bar for the federation subsystem):
+eight tenants' BoTs over a heterogeneous two-DCI federation — a huge
+volatile desktop grid next to a 10-node lab grid — sharing one credit
+pool and one worker budget.  Live-load routing must beat blind round
+robin on the max/min per-tenant slowdown spread, the global budget
+must hold across both clouds, and the whole scenario must be
+bit-reproducible and store-round-trippable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.campaign.spec import FederatedSweepSpec
+from repro.campaign.store import ResultStore, encode_result
+from repro.core.routing import (
+    ROUTING_POLICIES,
+    AffinityRouter,
+    LeastLoadedRouter,
+    RoundRobinRouter,
+    make_router,
+)
+from repro.core.scheduler import CloudArbiter
+from repro.deployment.edgi import EDGI_DCIS, edgi_scenario
+from repro.experiments import (
+    DCISpec,
+    FederatedResult,
+    ScenarioConfig,
+    run_campaign,
+    run_federated,
+)
+
+
+# ------------------------------------------------------------------ routing
+class _FakePool:
+    def __init__(self, idle):
+        self._idle = idle
+
+    def idle_count(self, t):
+        return self._idle
+
+
+class _FakeServer:
+    def __init__(self, busy, backlog, idle):
+        self._busy, self._backlog = busy, backlog
+        self.pool = _FakePool(idle)
+
+    def busy_count(self):
+        return self._busy
+
+    def backlog(self):
+        return self._backlog
+
+
+class _FakeDCI:
+    def __init__(self, name, busy=0, backlog=0, idle=10):
+        self.name = name
+        self.server = _FakeServer(busy, backlog, idle)
+
+
+def test_make_router_covers_all_policies_and_rejects_unknown():
+    for policy in ROUTING_POLICIES:
+        assert make_router(policy).name == policy
+    with pytest.raises(ValueError):
+        make_router("random")
+
+
+def test_round_robin_cycles_in_declaration_order():
+    r = RoundRobinRouter()
+    targets = [_FakeDCI("a"), _FakeDCI("b"), _FakeDCI("c")]
+    assert [r.route("SMALL", targets, 0.0) for _ in range(5)] == \
+        [0, 1, 2, 0, 1]
+
+
+def test_least_loaded_picks_lowest_work_per_live_worker():
+    targets = [_FakeDCI("big", busy=50, backlog=100, idle=200),
+               _FakeDCI("small", busy=8, backlog=40, idle=2)]
+    # big: 150/250 = 0.6; small: 48/10 = 4.8
+    assert LeastLoadedRouter().route("SMALL", targets, 0.0) == 0
+
+
+def test_least_loaded_breaks_ties_by_declaration_order():
+    targets = [_FakeDCI("a"), _FakeDCI("b")]  # both idle: load 0
+    assert LeastLoadedRouter().route("SMALL", targets, 0.0) == 0
+
+
+def test_least_loaded_avoids_dci_with_no_live_workers():
+    """A DCI whose every node is inside an unavailability interval
+    must rank as infinitely loaded, not least loaded (regression:
+    0 / max(1, 0) used to score a dead grid as load zero)."""
+    dead = _FakeDCI("dead", busy=0, backlog=0, idle=0)
+    alive = _FakeDCI("alive", busy=5, backlog=20, idle=50)
+    assert LeastLoadedRouter().route("SMALL", [dead, alive], 0.0) == 1
+    # every DCI dead: deterministic first-declared fallback
+    assert LeastLoadedRouter().route(
+        "SMALL", [dead, _FakeDCI("dead2", idle=0)], 0.0) == 0
+
+
+def test_affinity_pins_categories_and_falls_back_round_robin():
+    targets = [_FakeDCI("dg"), _FakeDCI("cluster")]
+    r = AffinityRouter({"BIG": "cluster"})
+    assert r.route("BIG", targets, 0.0) == 1
+    assert r.route("big", targets, 0.0) == 1  # case-insensitive
+    # unmapped categories round-robin over every DCI
+    assert [r.route("SMALL", targets, 0.0) for _ in range(3)] == [0, 1, 0]
+    # a pin to an absent DCI also falls back
+    r2 = AffinityRouter({"SMALL": "gone"})
+    assert [r2.route("SMALL", targets, 0.0) for _ in range(2)] == [0, 1]
+
+
+def test_routers_reject_empty_target_list():
+    for policy in ROUTING_POLICIES:
+        with pytest.raises(ValueError):
+            make_router(policy).route("SMALL", [], 0.0)
+
+
+# ------------------------------------------------------------------ configs
+def _dcis(**kw):
+    return (DCISpec(trace="seti", middleware="boinc"),
+            DCISpec(trace="nd", middleware="xwhep", **kw))
+
+
+def test_dci_spec_validation():
+    with pytest.raises(ValueError):
+        DCISpec(trace="lhc", middleware="boinc")
+    with pytest.raises(ValueError):
+        DCISpec(trace="seti", middleware="condor")
+    with pytest.raises(ValueError):
+        DCISpec(trace="seti", middleware="boinc", provider="azure")
+    with pytest.raises(ValueError):
+        DCISpec(trace="seti", middleware="boinc", worker_cap=0)
+
+
+def test_scenario_config_validation():
+    good = dict(dcis=_dcis(), seed=1)
+    ScenarioConfig(**good)
+    with pytest.raises(ValueError):
+        ScenarioConfig(dcis=(), seed=1)
+    with pytest.raises(ValueError):
+        ScenarioConfig(**good, routing="random")
+    with pytest.raises(ValueError):
+        ScenarioConfig(**good, policy="lottery")
+    with pytest.raises(ValueError):
+        ScenarioConfig(**good, affinity=(("SMALL", "nope"),))
+    with pytest.raises(ValueError):
+        ScenarioConfig(**good, n_tenants=0)
+    with pytest.raises(ValueError):
+        ScenarioConfig(
+            dcis=(DCISpec(trace="seti", middleware="boinc", name="x"),
+                  DCISpec(trace="nd", middleware="xwhep", name="x")),
+            seed=1)  # duplicate explicit names
+    # same trace+middleware twice is fine: derived names carry the index
+    twin = ScenarioConfig(
+        dcis=(DCISpec(trace="seti", middleware="boinc"),
+              DCISpec(trace="seti", middleware="boinc")), seed=1)
+    assert twin.dci_names() == ("dci0-seti-boinc", "dci1-seti-boinc")
+
+
+def test_scenario_config_names_and_pairing():
+    cfg = ScenarioConfig(dcis=_dcis(), seed=3)
+    assert cfg.dci_names() == ("dci0-seti-boinc", "dci1-nd-xwhep")
+    paired = cfg.with_routing("least_loaded")
+    assert paired.seed == cfg.seed and paired.dcis == cfg.dcis
+    assert cfg.with_policy("fifo").policy == "fifo"
+    named = ScenarioConfig(dcis=EDGI_DCIS, seed=3)
+    assert named.dci_names() == ("XW@LAL", "XW@LRI")
+
+
+def test_edgi_scenario_preset():
+    cfg = edgi_scenario(seed=9, routing="least_loaded")
+    assert cfg.dci_names() == ("XW@LAL", "XW@LRI")
+    assert cfg.dcis[0].provider == "stratuslab"
+    assert cfg.dcis[1].provider == "ec2"
+    assert cfg.dcis[1].max_nodes == 200
+    assert cfg.routing == "least_loaded"
+
+
+def test_federated_sweep_spec_expands_canonically():
+    sweep = FederatedSweepSpec(
+        dci_traces=("seti", "nd"), dci_middlewares=("boinc", "xwhep"),
+        dci_max_nodes=(None, 10), n_dcis=(1, 2),
+        routings=("round_robin", "least_loaded"),
+        policies=("fairshare",), seeds=(1, 2))
+    cfgs = sweep.expand()
+    assert len(cfgs) == sweep.n_configs() == 8
+    # routings outermost, then policies, then n_dcis, then seeds
+    assert [ (c.routing, len(c.dcis), c.seed) for c in cfgs[:4] ] == \
+        [("round_robin", 1, 1), ("round_robin", 1, 2),
+         ("round_robin", 2, 1), ("round_robin", 2, 2)]
+    # templates cycle: the 2-DCI scenarios carry the nd@10 spec
+    two = [c for c in cfgs if len(c.dcis) == 2][0]
+    assert two.dcis[1].trace == "nd" and two.dcis[1].max_nodes == 10
+    # smaller federations are prefixes of larger ones
+    assert cfgs[0].dcis == two.dcis[:1]
+
+
+# ----------------------------------------------- the federated scenario
+#: the reference federated scenario (ISSUE acceptance): a huge volatile
+#: DCI next to a 10-node lab grid, tiny shared pool, 8-worker budget
+def _reference(routing: str, seed: int) -> ScenarioConfig:
+    return ScenarioConfig(
+        dcis=(DCISpec(trace="seti", middleware="boinc"),
+              DCISpec(trace="nd", middleware="xwhep", max_nodes=10)),
+        seed=seed, n_tenants=8, bot_size=100, strategy="9C-C-R",
+        routing=routing, max_total_workers=8, pool_fraction=0.02,
+        arrival_rate_per_hour=2.0, deadline_factor=0.5, horizon_days=2.0)
+
+
+_SEEDS = (6000, 6001, 6002)
+
+
+@pytest.fixture(scope="module")
+def reference_results():
+    cfgs = [_reference(routing, seed)
+            for routing in ("round_robin", "least_loaded")
+            for seed in _SEEDS]
+    results = run_campaign(cfgs)
+    return {(c.routing, c.seed): r for c, r in zip(cfgs, results)}
+
+
+def test_federated_scenario_is_seed_reproducible(reference_results):
+    base = reference_results[("round_robin", 6000)]
+    again = run_federated(_reference("round_robin", 6000))
+    assert [t.makespan for t in again.tenants] == \
+        [t.makespan for t in base.tenants]
+    assert [t.dci for t in again.tenants] == [t.dci for t in base.tenants]
+    assert again.pool_spent == base.pool_spent
+    assert again.events == base.events
+
+
+def test_global_worker_budget_holds_across_clouds(reference_results):
+    for res in reference_results.values():
+        assert res.workers_peak <= 8
+
+
+def test_pooled_spend_never_exceeds_provision(reference_results):
+    for res in reference_results.values():
+        assert res.pool_spent <= res.pool_provisioned + 1e-9
+        assert sum(t.credits_spent for t in res.tenants) == \
+            pytest.approx(res.pool_spent)
+
+
+def test_every_tenant_is_routed_and_accounted(reference_results):
+    for res in reference_results.values():
+        names = res.config.dci_names()
+        assert all(t.dci in names for t in res.tenants)
+        assert sum(d.tenants_assigned for d in res.dcis) == 8
+        for d in res.dcis:
+            assert d.tenants_assigned == len(res.tenants_on(d.name))
+
+
+def test_round_robin_splits_evenly_least_loaded_protects_weak_dci(
+        reference_results):
+    for seed in _SEEDS:
+        rr = reference_results[("round_robin", seed)]
+        assert [d.tenants_assigned for d in rr.dcis] == [4, 4]
+        ll = reference_results[("least_loaded", seed)]
+        weak = ll.dcis[1]
+        assert weak.trace == "nd"
+        assert weak.tenants_assigned < 4  # diverted off the 10-node grid
+
+
+def test_least_loaded_beats_round_robin_on_slowdown_spread(
+        reference_results):
+    """The ISSUE acceptance criterion, on the reference scenario."""
+    rr = float(np.mean([reference_results[("round_robin", s)]
+                        .slowdown_spread for s in _SEEDS]))
+    ll = float(np.mean([reference_results[("least_loaded", s)]
+                        .slowdown_spread for s in _SEEDS]))
+    assert ll < rr
+
+
+def test_single_dci_federation_ignores_routing():
+    cfgs = [ScenarioConfig(dcis=(DCISpec(trace="nd", middleware="xwhep"),),
+                           seed=4, n_tenants=2, bot_size=20,
+                           routing=routing, horizon_days=2.0)
+            for routing in ("round_robin", "least_loaded")]
+    a, b = (run_federated(c) for c in cfgs)
+    assert [t.makespan for t in a.tenants] == [t.makespan for t in b.tenants]
+    assert a.events == b.events
+
+
+def test_affinity_routing_pins_categories_to_dcis():
+    cfg = ScenarioConfig(
+        dcis=(DCISpec(trace="seti", middleware="boinc", name="dg"),
+              DCISpec(trace="g5klyo", middleware="xwhep", name="cluster")),
+        seed=5, n_tenants=4, categories=("SMALL", "BIG"), bot_size=20,
+        routing="affinity", affinity=(("BIG", "cluster"),
+                                      ("SMALL", "dg")),
+        horizon_days=2.0)
+    res = run_federated(cfg)
+    for t in res.tenants:
+        assert t.dci == ("cluster" if t.category == "BIG" else "dg")
+
+
+# ------------------------------------------------------- cross-DCI caps
+def test_arbiter_per_dci_cap_validation():
+    with pytest.raises(ValueError):
+        CloudArbiter("fifo", max_dci_workers=0)
+    with pytest.raises(ValueError):
+        CloudArbiter("fifo", dci_caps={"x": 0})
+
+
+def test_per_dci_worker_caps_bind():
+    cfg = ScenarioConfig(
+        dcis=(DCISpec(trace="seti", middleware="boinc", worker_cap=2),
+              DCISpec(trace="nd", middleware="xwhep", max_nodes=10)),
+        seed=6000, n_tenants=8, bot_size=100, strategy="9C-C-R",
+        max_total_workers=8, max_dci_workers=3, pool_fraction=0.02,
+        arrival_rate_per_hour=2.0, deadline_factor=0.5, horizon_days=2.0)
+    res = run_federated(cfg)
+    # DCISpec.worker_cap overrides the uniform max_dci_workers
+    assert res.dcis[0].workers_peak <= 2
+    assert res.dcis[1].workers_peak <= 3
+    assert res.workers_peak <= 8
+
+
+# ------------------------------------------------------- store round-trip
+def test_federated_result_round_trips_the_store_byte_identically():
+    cfg = ScenarioConfig(
+        dcis=(DCISpec(trace="nd", middleware="xwhep", max_nodes=20),),
+        seed=8, n_tenants=2, bot_size=20, horizon_days=2.0,
+        affinity=(("SMALL", "dci0-nd-xwhep"),), routing="affinity")
+    res = run_federated(cfg)
+    store = ResultStore(":memory:")
+    store.put(cfg, res)
+    back = store.get(cfg)
+    assert isinstance(back, FederatedResult)
+    assert back.config == cfg
+    assert back.config.dcis[0].max_nodes == 20
+    # byte-identity of the re-encoded payload (lossless codec)
+    assert encode_result(back) == encode_result(res)
+    assert [t.dci for t in back.tenants] == [t.dci for t in res.tenants]
+    assert [d.name for d in back.dcis] == [d.name for d in res.dcis]
+    assert store.stats.hits == 1 and store.stats.puts == 1
+
+
+def test_run_campaign_dedups_and_caches_federated_configs():
+    cfg = ScenarioConfig(
+        dcis=(DCISpec(trace="nd", middleware="xwhep", max_nodes=20),),
+        seed=9, n_tenants=2, bot_size=20, horizon_days=2.0)
+    store = ResultStore(":memory:")
+    first = run_campaign([cfg, cfg], n_jobs=1, store=store)
+    assert first[0] is first[1]
+    assert store.stats.puts == 1
+    again = run_campaign([cfg], n_jobs=1, store=store)
+    assert encode_result(again[0]) == encode_result(first[0])
+    assert store.stats.hits >= 1

@@ -14,7 +14,6 @@ from repro.core.storage import (
     InMemoryHistoryStore,
     SQLiteHistoryStore,
 )
-from repro.core.strategies import StrategyCombo
 from repro.workload.bot import BagOfTasks, Task
 
 

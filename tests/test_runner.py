@@ -5,7 +5,6 @@ import pytest
 
 from repro.experiments.config import (
     SCALES,
-    CampaignScale,
     ExecutionConfig,
     get_scale,
 )
@@ -148,42 +147,67 @@ def test_campaign_parallel_order_and_determinism():
 
 # ------------------------------------------------------------- trace cache
 def test_trace_cache_is_true_lru(monkeypatch):
-    import repro.experiments.runner as runner_mod
-    monkeypatch.setattr(runner_mod, "_TRACE_CACHE_MAX", 3)
-    runner_mod._trace_cache.clear()
+    from repro.experiments.harness import TraceCache
+    monkeypatch.setenv("REPRO_TRACE_CACHE", "3")
+    cache = TraceCache()
     horizon = 3600.0
 
     def key(seed):
-        return ("nd", seed, 4, horizon)
+        return ("nd", (seed,), 4, horizon)
 
     for seed in (1, 2, 3):
-        runner_mod._materialize_cached("nd", seed, 4, horizon)
-    assert list(runner_mod._trace_cache) == [key(1), key(2), key(3)]
+        cache.materialize("nd", seed, 4, horizon)
+    assert cache.keys() == [key(1), key(2), key(3)]
 
     # a hit refreshes recency: key(1) moves to the back...
-    runner_mod._materialize_cached("nd", 1, 4, horizon)
-    assert list(runner_mod._trace_cache) == [key(2), key(3), key(1)]
+    cache.materialize("nd", 1, 4, horizon)
+    assert cache.keys() == [key(2), key(3), key(1)]
 
     # ...so a miss evicts the least recently USED (key 2), not the
     # oldest inserted (key 1)
-    runner_mod._materialize_cached("nd", 4, 4, horizon)
-    assert key(1) in runner_mod._trace_cache
-    assert key(2) not in runner_mod._trace_cache
-    assert list(runner_mod._trace_cache) == [key(3), key(1), key(4)]
-    runner_mod._trace_cache.clear()
+    cache.materialize("nd", 4, 4, horizon)
+    assert key(1) in cache.keys()
+    assert key(2) not in cache.keys()
+    assert cache.keys() == [key(3), key(1), key(4)]
+    assert cache.hits == 1 and cache.misses == 4 and cache.evictions == 1
+
+
+def test_trace_cache_capacity_is_env_configurable(monkeypatch):
+    from repro.experiments.harness import TraceCache
+    cache = TraceCache()
+    monkeypatch.setenv("REPRO_TRACE_CACHE", "2")
+    for seed in (1, 2, 3):
+        cache.materialize("nd", seed, 4, 3600.0)
+    assert len(cache) == 2 and cache.evictions == 1
+    monkeypatch.delenv("REPRO_TRACE_CACHE")
+    assert TraceCache.capacity() == 6  # documented default
+    monkeypatch.setenv("REPRO_TRACE_CACHE", "0")
+    assert TraceCache.capacity() == 1  # clamped to at least one entry
+
+
+def test_trace_cache_streams_realize_independently():
+    """Same (trace, seed) under different DCI streams must neither
+    collide in the cache nor produce the same realization."""
+    from repro.experiments.harness import TraceCache
+    cache = TraceCache()
+    a = cache.materialize("nd", 7, 4, 3600.0)
+    b = cache.materialize("nd", 7, 4, 3600.0, stream=(1,))
+    assert len(cache) == 2 and cache.misses == 2
+    assert [(n.starts.tolist()) for n in a] != \
+        [(n.starts.tolist()) for n in b]
+    assert "2 misses" in cache.summary()
 
 
 def test_trace_cache_hit_reuses_realization_but_rebuilds_nodes():
-    import repro.experiments.runner as runner_mod
-    runner_mod._trace_cache.clear()
-    a = runner_mod._materialize_cached("nd", 9, 4, 3600.0)
-    raw = next(iter(runner_mod._trace_cache.values()))
-    b = runner_mod._materialize_cached("nd", 9, 4, 3600.0)
-    assert len(runner_mod._trace_cache) == 1
+    from repro.experiments.harness import TraceCache
+    cache = TraceCache()
+    a = cache.materialize("nd", 9, 4, 3600.0)
+    b = cache.materialize("nd", 9, 4, 3600.0)
+    assert len(cache) == 1
+    assert cache.hits == 1 and cache.misses == 1
     # same cached interval arrays back the rebuilt Node objects
     assert a[0] is not b[0]
-    assert a[0].starts is b[0].starts is raw[0][0]
-    runner_mod._trace_cache.clear()
+    assert a[0].starts is b[0].starts
 
 
 def test_censoring_at_horizon():

@@ -7,7 +7,7 @@ from repro.cloud.registry import get_driver
 from repro.core.credit import CREDITS_PER_CPU_HOUR
 from repro.core.scheduler import SchedulerConfig
 from repro.core.service import SpeQuloS
-from repro.core.strategies import StrategyCombo, parse_combo
+from repro.core.strategies import parse_combo
 from repro.infra.node import Node
 from repro.infra.pool import NodePool
 from repro.middleware.xwhep import XWHepServer

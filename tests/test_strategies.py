@@ -7,8 +7,6 @@ from repro.core.info import BoTMonitor
 from repro.core.strategies import (
     ALL_COMBOS,
     DEPLOY_CLOUD_DUP,
-    DEPLOY_FLAT,
-    DEPLOY_RESCHEDULE,
     SIZE_CONSERVATIVE,
     SIZE_GREEDY,
     WHEN_ASSIGNMENT,

@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.workload.bot import BagOfTasks, Task
-from repro.workload.categories import BOT_CATEGORIES, get_category
+from repro.workload.categories import get_category
 from repro.workload.generator import make_bot
 
 
