@@ -1,0 +1,14 @@
+"""Learning report — warm-vs-cold prediction over the history plane."""
+
+from repro.experiments import figures
+
+
+def test_learning(run_report, scale):
+    run_report(figures.learning_report)
+    # the ISSUE acceptance criterion, answered from the store the
+    # report just warmed: prediction success with a warm persistent
+    # archive strictly exceeds the cold-start rate on the reference
+    # scenario, and the growing archive already improves on cold
+    cold, growing, warm = figures.learning_rates(scale)
+    assert warm > cold
+    assert growing >= cold

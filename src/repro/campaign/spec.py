@@ -291,6 +291,11 @@ class FederatedSweepSpec:
     max_dci_workers: Optional[int] = None
     deadline_factor: Optional[float] = None
     horizon_days: float = 15.0
+    #: execution-history backend per scenario (None/"memory" fresh,
+    #: "persistent" the shared cross-run archive)
+    history: Optional[str] = None
+    #: admission-control mode per scenario (None | "reject" | "defer")
+    admission: Optional[str] = None
 
     def __post_init__(self) -> None:
         for name in ("dci_traces", "dci_middlewares", "dci_providers",
@@ -352,7 +357,9 @@ class FederatedSweepSpec:
                             max_total_workers=self.max_total_workers,
                             max_dci_workers=self.max_dci_workers,
                             deadline_factor=self.deadline_factor,
-                            horizon_days=self.horizon_days))
+                            horizon_days=self.horizon_days,
+                            history=self.history,
+                            admission=self.admission))
         return cfgs
 
 

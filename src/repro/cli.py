@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Eight subcommands cover the day-to-day uses of the reproduction:
+Nine subcommands cover the day-to-day uses of the reproduction:
 
 * ``run``     — one BoT execution (optionally with SpeQuloS), printing
   the metrics the paper reports for it;
@@ -13,18 +13,28 @@ Eight subcommands cover the day-to-day uses of the reproduction:
   (each its own trace, middleware and cloud), a routing policy
   assigning arriving BoTs to DCIs, and one arbiter rationing the
   global worker budget and the shared pool across all bindings;
+  ``--history persistent`` attaches the cross-run execution archive
+  (Oracle α calibration and history-fed routing learn across runs)
+  and ``--admission reject|defer`` gates pooled QoS orders on the
+  archive's predicted credit cost;
 * ``report``  — regenerate any table/figure of the paper by name
   (``figure1`` .. ``figure7``, ``table1`` .. ``table5``,
-  ``ablation_*``, ``contention``, ``federation``); ``--jobs`` sizes
-  the campaign process pool and ``--no-cache`` bypasses the result
-  store;
+  ``ablation_*``, ``contention``, ``federation``, plus ``learning``,
+  the warm-vs-cold prediction study over the history plane);
+  ``--jobs`` sizes the campaign process pool and ``--no-cache``
+  bypasses the result store;
 * ``sweep``   — run an ad-hoc declarative campaign grid straight from
   flags (comma-separated axes) through the sharded executor and the
   content-addressed store, with per-config rows and store stats;
 * ``store``   — inspect the content-addressed result store
-  (``stats``) or garbage-collect records orphaned by code edits
-  (``gc``: drops rows whose salt no longer matches the current
+  (``stats``: record counts, on-disk size and the in-process trace
+  cache's LRU counters) or garbage-collect records orphaned by code
+  edits (``gc``: drops rows whose salt no longer matches the current
   ``code_fingerprint()`` and reports reclaimed rows/bytes);
+* ``history`` — inspect the persistent execution-history archive
+  (``stats``: per-environment record counts, throughput, slowdown,
+  cost per task and calibrated α) or drop its stale-salt records
+  (``gc``), mirroring the store commands;
 * ``trace``   — synthesize a Table 2 trace and print its measured
   statistics, or export it to the FTA-style text format.
 """
@@ -42,7 +52,7 @@ __all__ = ["main", "build_parser"]
 _REPORTS = ("figure1", "figure2", "figure4", "figure5", "figure6",
             "figure7", "table1", "table2", "table3", "table4", "table5",
             "ablation_threshold", "ablation_budget", "ablation_middleware",
-            "contention", "federation")
+            "contention", "federation", "learning")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -102,7 +112,9 @@ def build_parser() -> argparse.ArgumentParser:
     fed.add_argument("--categories", default="SMALL",
                      help="comma-separated mix cycled over tenants")
     fed.add_argument("--routing", default="round_robin",
-                     choices=("round_robin", "least_loaded", "affinity"),
+                     choices=("round_robin", "least_loaded",
+                              "history_weighted", "affinity",
+                              "affinity_learned"),
                      help="BoT-to-DCI routing policy")
     fed.add_argument("--affinity", default=None,
                      help="category=dci pins for affinity routing, "
@@ -120,6 +132,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="global cap on concurrent cloud workers")
     fed.add_argument("--dci-workers", type=int, default=None,
                      help="per-DCI cap on concurrent cloud workers")
+    fed.add_argument("--history", default=None,
+                     choices=("memory", "persistent"),
+                     help="execution-history backend (persistent = the "
+                          "cross-run archive next to the campaign store)")
+    fed.add_argument("--admission", default=None,
+                     choices=("reject", "defer"),
+                     help="gate pooled QoS orders on the history "
+                          "plane's predicted credit cost")
     fed.add_argument("--horizon-days", type=float, default=15.0)
 
     rep = sub.add_parser("report", help="regenerate a paper table/figure")
@@ -163,6 +183,20 @@ def build_parser() -> argparse.ArgumentParser:
                          "records whose code salt is stale and report "
                          "reclaimed rows/bytes")
 
+    hist = sub.add_parser(
+        "history",
+        help="inspect or garbage-collect the persistent execution "
+             "history archive")
+    hist.add_argument("action", choices=("stats", "gc"),
+                      help="stats: per-environment archive digests "
+                           "(records, throughput, slowdown, cost/task, "
+                           "calibrated alpha); gc: drop records whose "
+                           "code salt is stale")
+    hist.add_argument("--at", type=_fraction, default=0.5,
+                      metavar="FRACTION",
+                      help="completion fraction in (0, 1] for the "
+                           "alpha column (default 0.5)")
+
     tr = sub.add_parser("trace", help="synthesize and inspect a trace")
     tr.add_argument("name", help="trace name (seti, nd, g5klyo, ...)")
     tr.add_argument("--days", type=float, default=4.0)
@@ -171,6 +205,15 @@ def build_parser() -> argparse.ArgumentParser:
     tr.add_argument("--export", metavar="PATH", default=None,
                     help="write the trace in FTA-style text format")
     return parser
+
+
+def _fraction(text: str) -> float:
+    """argparse type: a completion fraction in (0, 1]."""
+    value = float(text)
+    if not 0.0 < value <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"fraction must be in (0, 1], got {text}")
+    return value
 
 
 def _add_campaign_args(p: argparse.ArgumentParser) -> None:
@@ -192,9 +235,12 @@ def _apply_campaign_args(args) -> None:
 
 def _print_store_stats() -> None:
     from repro.campaign.store import current_store
+    from repro.experiments.harness import TRACE_CACHE
     store = current_store()
     if store is not None:
         print(f"[store] {store.stats.summary()} — {store.path}")
+    if TRACE_CACHE.hits or TRACE_CACHE.misses:
+        print(f"[trace cache] {TRACE_CACHE.summary()}")
 
 
 def _add_env_args(p: argparse.ArgumentParser) -> None:
@@ -293,15 +339,17 @@ def _cmd_fed(args) -> int:
         bot_size=args.bot_size, pool_fraction=args.pool_fraction,
         max_total_workers=args.max_workers,
         max_dci_workers=args.dci_workers,
+        history=args.history, admission=args.admission,
         horizon_days=args.horizon_days)
     res = run_federated(cfg)
     print(f"{cfg.label()}:")
     for t in res.tenants:
         cens = "  (censored)" if t.censored else ""
+        adm = f"  [{t.admission}]" if cfg.admission is not None else ""
         print(f"  {t.user:<8} {t.category:<7} -> {t.dci:<22} "
               f"arr {t.arrival:9.0f} s  makespan {t.makespan:9.0f} s  "
               f"slowdown {t.slowdown:5.2f}x  "
-              f"credits {t.credits_spent:7.1f}{cens}")
+              f"credits {t.credits_spent:7.1f}{adm}{cens}")
     for d in res.dcis:
         print(f"  DCI {d.name:<22} ({d.trace}/{d.middleware}/"
               f"{d.provider}): {d.tenants_assigned} tenants, "
@@ -313,11 +361,17 @@ def _cmd_fed(args) -> int:
     print(f"  fairness: max/min slowdown {res.slowdown_spread:.2f}, "
           f"jain index {res.fairness:.3f}; "
           f"peak cloud workers {res.workers_peak}")
+    if cfg.admission is not None:
+        counts = res.admission_counts()
+        print("  admission: " + ", ".join(
+            f"{counts.get(v, 0)} {v}"
+            for v in ("granted", "rejected", "deferred")))
     return 0
 
 
 def _cmd_store(args) -> int:
     from repro.campaign.store import ResultStore, default_store_path
+    from repro.experiments.harness import TRACE_CACHE
     store = ResultStore(default_store_path())
     if args.action == "stats":
         print(f"store: {store.path}")
@@ -325,10 +379,45 @@ def _cmd_store(args) -> int:
         for kind, counts in sorted(store.breakdown().items()):
             print(f"  {kind:<14} {counts['current']:6d} current  "
                   f"{counts['stale']:6d} stale")
+        # warm-run diagnostics in one place: the trace-cache LRU
+        # counters next to the persistent store's accounting (the
+        # cache is per process — the live numbers appear after report/
+        # sweep runs, which print the same line)
+        print(f"  trace cache (this process): {TRACE_CACHE.summary()}")
         return 0
     rows, nbytes = store.gc()
     print(f"store gc: reclaimed {rows} stale rows "
           f"({nbytes} payload bytes) — {store.path}")
+    print(f"  {len(store)} records remain, "
+          f"{store.file_bytes()} bytes on disk")
+    return 0
+
+
+def _cmd_history(args) -> int:
+    from repro.history import HistoryPlane, PersistentHistoryStore
+    store = PersistentHistoryStore()
+    plane = HistoryPlane(store)
+    if args.action == "stats":
+        print(f"history: {store.path}")
+        print(f"  {len(store)} current records "
+              f"({store.stale_count()} stale), "
+              f"{store.file_bytes()} bytes on disk")
+        if len(store):
+            print(f"  {'environment':<36} {'recs':>5} {'mk (h)':>8} "
+                  f"{'tput/h':>8} {'slowdn':>7} {'avail':>6} "
+                  f"{'cost/task':>10} {'alpha':>6}")
+        for env, summary in plane.summary().items():
+            alpha, _n = plane.alpha(env, args.at)
+            print(f"  {env:<36} {summary.records:>5d} "
+                  f"{summary.mean_makespan / 3600.0:>8.2f} "
+                  f"{summary.throughput_per_hour:>8.1f} "
+                  f"{summary.mean_slowdown:>7.2f} "
+                  f"{summary.availability:>6.2f} "
+                  f"{summary.cost_per_task:>10.3f} {alpha:>6.2f}")
+        return 0
+    rows, nbytes = store.gc()
+    print(f"history gc: reclaimed {rows} stale rows "
+          f"({nbytes} grid bytes) — {store.path}")
     print(f"  {len(store)} records remain, "
           f"{store.file_bytes()} bytes on disk")
     return 0
@@ -445,7 +534,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     handler = {"run": _cmd_run, "compare": _cmd_compare,
                "multi": _cmd_multi, "fed": _cmd_fed,
                "report": _cmd_report, "sweep": _cmd_sweep,
-               "store": _cmd_store, "trace": _cmd_trace}[args.command]
+               "store": _cmd_store, "history": _cmd_history,
+               "trace": _cmd_trace}[args.command]
     return handler(args)
 
 

@@ -1,0 +1,140 @@
+"""Admission control for QoS orders against a shared credit pool.
+
+The ROADMAP's federated open item: when N tenants' declared workloads
+exceed what the pooled provision can cover, granting every QoS order
+dilutes the pool until nobody's cloud supplement is worth anything.
+Thai et al. ("Executing Bag of Distributed Tasks on Virtually
+Unlimited Cloud Resources", PAPERS.md) motivate gating admission on
+the *predicted completion cost*; the history plane supplies exactly
+that prediction — the archived mean credits-per-task of the BoT's
+environment times its declared size.
+
+The :class:`AdmissionController` sits between ``registerQoS`` and
+``orderQoS``: the BoT is always registered (monitored) and submitted
+to its BE-DCI — best-effort execution is never denied — but its claim
+on the pool is
+
+* **granted** when the environment is cold (no archived cost — the
+  paper initializes optimistically, as with α = 1) or the predicted
+  cost fits the pool's uncommitted remainder;
+* **rejected** (``mode="reject"``): the order is never opened; the
+  BoT runs purely best-effort;
+* **deferred** (``mode="defer"``): the order is postponed and
+  re-evaluated every ``retry_period`` — once earlier tenants finish
+  under their predictions (or the forecast cools), the pool's
+  uncommitted remainder covers the claim and the order opens late.
+
+The controller tracks the predicted cost of every claim it grants and
+evaluates new claims against ``pool.remaining − outstanding
+commitments``, so a burst of arrivals cannot all be admitted against
+the same uncommitted credits.  A commitment is the claim's *unspent*
+predicted cost: what a granted run has already billed is inside
+``pool.spent`` (hence out of ``pool.remaining``), so only the
+remainder of its forecast still reserves credits — without that
+netting, an in-flight run would count twice and starve later
+arrivals.  A claim's commitment is released when its run closes
+(finished BoTs settle at their actual spend, which the pool already
+accounts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.history.plane import HistoryPlane
+
+__all__ = ["ADMISSION_MODES", "AdmissionController", "AdmissionDecision",
+           "GRANTED", "REJECTED", "DEFERRED"]
+
+ADMISSION_MODES = ("reject", "defer")
+
+GRANTED = "granted"
+REJECTED = "rejected"
+DEFERRED = "deferred"
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """One evaluated QoS claim."""
+
+    verdict: str                    # granted | rejected | deferred
+    #: plane-predicted credit cost of the BoT (None = cold environment)
+    predicted_cost: Optional[float]
+    #: pool credits uncommitted at decision time
+    available: float
+
+
+class AdmissionController:
+    """Gates QoS orders on the plane's predicted credit cost."""
+
+    def __init__(self, plane: HistoryPlane, mode: str = "reject",
+                 safety: float = 1.0, retry_period: float = 1800.0):
+        if mode not in ADMISSION_MODES:
+            raise ValueError(f"unknown admission mode {mode!r}; "
+                             f"available: {', '.join(ADMISSION_MODES)}")
+        if safety <= 0:
+            raise ValueError("safety must be positive")
+        if retry_period <= 0:
+            raise ValueError("retry_period must be positive")
+        self.plane = plane
+        self.mode = mode
+        #: multiplier on the predicted cost (>1 = conservative gate)
+        self.safety = safety
+        #: seconds between re-evaluations of a deferred claim
+        self.retry_period = retry_period
+        #: predicted cost committed per granted, still-open claim
+        self._commitments: Dict[str, float] = {}
+        #: decision log (bot_id -> latest decision) for reporting
+        self.decisions: Dict[str, AdmissionDecision] = {}
+
+    # ------------------------------------------------------------------
+    def committed(self, credits=None) -> float:
+        """Outstanding predicted cost of every granted, unreleased claim.
+
+        With a :class:`~repro.core.credit.CreditSystem` each
+        commitment is netted against what its order has already billed
+        (that spend is in ``pool.spent`` already — see the module
+        docstring); without one, the full predicted costs are summed.
+        """
+        if credits is None:
+            return sum(self._commitments.values())
+        total = 0.0
+        for bot_id, cost in self._commitments.items():
+            order = credits.get_order(bot_id)
+            spent = order.spent if order is not None else 0.0
+            total += max(0.0, cost - spent)
+        return total
+
+    def release(self, bot_id: str) -> None:
+        """Drop a claim's commitment (its run closed; actual spend is
+        already reflected in the pool)."""
+        self._commitments.pop(bot_id, None)
+
+    # ------------------------------------------------------------------
+    def evaluate(self, bot_id: str, env_key: str, n_tasks: int,
+                 pool, credits=None) -> AdmissionDecision:
+        """Decide one claim against a :class:`~repro.core.credit.
+        CreditPool`; a granted claim's predicted cost is committed.
+        Pass the scenario's :class:`~repro.core.credit.CreditSystem`
+        so in-flight claims only reserve their unspent forecast."""
+        available = max(0.0, pool.remaining - self.committed(credits))
+        cost = self.plane.predicted_cost(env_key, n_tasks)
+        if cost is None or self.safety * cost <= available:
+            verdict = GRANTED
+            if cost is not None:
+                self._commitments[bot_id] = self.safety * cost
+        else:
+            verdict = REJECTED if self.mode == "reject" else DEFERRED
+        decision = AdmissionDecision(verdict=verdict, predicted_cost=cost,
+                                     available=available)
+        self.decisions[bot_id] = decision
+        return decision
+
+    # ------------------------------------------------------------------
+    def counts(self) -> Dict[str, int]:
+        """Verdict histogram over every decided claim."""
+        out = {GRANTED: 0, REJECTED: 0, DEFERRED: 0}
+        for decision in self.decisions.values():
+            out[decision.verdict] += 1
+        return out

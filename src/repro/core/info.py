@@ -9,38 +9,36 @@ point the paper stresses — *infrastructure idiosyncrasies are hidden*,
 BOINC and XWHEP feed the same unified format — holds here because both
 middleware emit the same events.
 
-The archive side (used by the Oracle's statistical prediction) stores,
-per finished execution, the completion-time grid ``tc(x)`` for
-``x = 1%..100%`` under an *environment key* (BE-DCI, middleware, BoT
-category), via a pluggable :mod:`repro.core.storage` backend.
+The archive side (used by the Oracle's statistical prediction, the
+history-fed routers and the admission controller) stores, per finished
+execution, the completion-time grid ``tc(x)`` for ``x = 1%..100%``
+plus the credits the execution billed, under an *environment key*
+(BE-DCI, middleware, BoT category), through the
+:class:`~repro.history.plane.HistoryPlane` — whose backend is
+pluggable (in-memory by default, persistent SQLite for cross-run
+learning; see :mod:`repro.history`).
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.core.storage import ExecutionRecord, HistoryStore, InMemoryHistoryStore
+# GRID_FRACTIONS and tc_grid moved to repro.history.records; re-exported
+# here because monitors produce the grids the archive consumes.
+from repro.history import (
+    GRID_FRACTIONS,
+    ExecutionRecord,
+    HistoryPlane,
+    HistoryStore,
+    tc_grid,
+)
 from repro.middleware.base import GTID
 from repro.workload.bot import BagOfTasks
 
-__all__ = ["BoTMonitor", "InformationModule", "tc_grid"]
-
-#: percent grid on which execution history archives tc(x)
-GRID_FRACTIONS = np.arange(1, 101) / 100.0
-
-
-def tc_grid(completion_times: List[float], total: int) -> np.ndarray:
-    """``tc(x)`` for x = 1%..100% (NaN where not yet reached)."""
-    out = np.full(100, np.nan)
-    n = len(completion_times)
-    for i, frac in enumerate(GRID_FRACTIONS):
-        k = max(1, math.ceil(frac * total))
-        if k <= n:
-            out[i] = completion_times[k - 1]
-    return out
+__all__ = ["BoTMonitor", "GRID_FRACTIONS", "InformationModule", "tc_grid"]
 
 
 class BoTMonitor:
@@ -145,11 +143,22 @@ class BoTMonitor:
 
 
 class InformationModule:
-    """Registry of live monitors plus the execution-history archive."""
+    """Registry of live monitors plus the execution-history archive.
 
-    def __init__(self, store: Optional[HistoryStore] = None):
+    ``store`` accepts a :class:`~repro.history.plane.HistoryPlane`
+    (shared, possibly persistent) or any bare
+    :class:`~repro.history.records.HistoryStore` backend, which is
+    wrapped in a fresh plane; by default the archive is in-memory and
+    private to this module, exactly as before the history plane
+    existed.  ``self.plane`` is the query surface; ``self.store``
+    remains the raw backend for callers that predate the plane.
+    """
+
+    def __init__(self, store: Union[HistoryPlane, HistoryStore,
+                                    None] = None):
         self.monitors: Dict[str, BoTMonitor] = {}
-        self.store: HistoryStore = store or InMemoryHistoryStore()
+        self.plane: HistoryPlane = HistoryPlane.ensure(store)
+        self.store: HistoryStore = self.plane.backend
 
     # ------------------------------------------------------------- live
     def register(self, bot: BagOfTasks, t0: float) -> BoTMonitor:
@@ -163,14 +172,10 @@ class InformationModule:
         return self.monitors[bot_id]
 
     # ---------------------------------------------------------- archive
-    def archive_execution(self, env_key: str, mon: BoTMonitor) -> None:
+    def archive_execution(self, env_key: str, mon: BoTMonitor,
+                          credits_spent: float = 0.0) -> None:
         """Store a finished execution's profile for future predictions."""
-        if not mon.done:
-            raise ValueError("cannot archive an unfinished execution")
-        rec = ExecutionRecord(env_key=env_key, n_tasks=mon.total,
-                              makespan=mon.completion_times[-1],
-                              grid=mon.grid())
-        self.store.add(rec)
+        self.plane.archive(env_key, mon, credits_spent=credits_spent)
 
     def history(self, env_key: str) -> List[ExecutionRecord]:
-        return self.store.fetch(env_key)
+        return self.plane.fetch(env_key)

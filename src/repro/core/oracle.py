@@ -16,50 +16,21 @@ the module the Scheduler interrogates, matching Figure 3's
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
-
-import numpy as np
+from typing import Optional, Tuple
 
 from repro.core.info import BoTMonitor, InformationModule
 from repro.core.strategies import StrategyCombo
+# the calibration statistics live with the archive they summarize
+# (re-exported here for the historical import path)
+from repro.history.calibration import (
+    SUCCESS_TOLERANCE,
+    fit_alpha,
+    prediction_success,
+)
 
-__all__ = ["Oracle", "Prediction", "fit_alpha", "prediction_success"]
-
-#: tolerance of the success criterion (§3.4: "± 20% tolerance")
-SUCCESS_TOLERANCE = 0.20
-
-
-def fit_alpha(base_predictions: Sequence[float],
-              actuals: Sequence[float]) -> float:
-    """Least-absolute-error scale factor.
-
-    Minimizes ``sum_i |alpha * p_i - a_i|`` exactly: the optimum is the
-    weighted median of the ratios ``a_i / p_i`` with weights ``p_i``
-    (the derivative of the objective changes sign there).  Returns 1.0
-    with no usable history, as the paper initializes α.
-    """
-    p = np.asarray(list(base_predictions), dtype=float)
-    a = np.asarray(list(actuals), dtype=float)
-    mask = np.isfinite(p) & np.isfinite(a) & (p > 0) & (a > 0)
-    p, a = p[mask], a[mask]
-    if p.size == 0:
-        return 1.0
-    ratios = a / p
-    order = np.argsort(ratios)
-    ratios, weights = ratios[order], p[order]
-    cum = np.cumsum(weights)
-    idx = int(np.searchsorted(cum, cum[-1] / 2.0))
-    return float(ratios[min(idx, ratios.size - 1)])
-
-
-def prediction_success(predicted: float, actual: float,
-                       tolerance: float = SUCCESS_TOLERANCE) -> bool:
-    """§3.4 criterion: actual within [80 %, 120 %] of the prediction."""
-    if predicted <= 0:
-        return False
-    return (1 - tolerance) * predicted <= actual <= (1 + tolerance) * predicted
+__all__ = ["Oracle", "Prediction", "SUCCESS_TOLERANCE", "fit_alpha",
+           "prediction_success"]
 
 
 @dataclass(frozen=True)
@@ -87,33 +58,17 @@ class Oracle:
     def alpha_for(self, env_key: str, fraction: float) -> Tuple[float, int]:
         """Calibrated α for an environment at a completion ratio.
 
-        Uses every archived execution of the environment: base
-        prediction ``p_i = tc_i(fraction) / fraction``, actual
-        ``a_i = makespan_i``.
+        Read through the history plane, so the calibration spans every
+        archived execution the plane's backend holds — only the current
+        process for the default in-memory backend, *cross-run* history
+        when the scenario attaches the persistent archive.
         """
-        history = self.info.history(env_key)
-        if not history:
-            return 1.0, 0
-        p = [rec.tc_at(fraction) / fraction for rec in history]
-        a = [rec.makespan for rec in history]
-        return fit_alpha(p, a), len(history)
+        return self.info.plane.alpha(env_key, fraction)
 
     def success_rate(self, env_key: str, fraction: float,
                      alpha: float) -> float:
         """Historical ±20 % success rate of α-scaled predictions."""
-        history = self.info.history(env_key)
-        if not history:
-            return float("nan")
-        hits = 0
-        used = 0
-        for rec in history:
-            base = rec.tc_at(fraction)
-            if not math.isfinite(base) or base <= 0:
-                continue
-            used += 1
-            if prediction_success(alpha * base / fraction, rec.makespan):
-                hits += 1
-        return hits / used if used else float("nan")
+        return self.info.plane.success_rate(env_key, fraction, alpha)
 
     def predict(self, bot_id: str, env_key: str) -> Optional[Prediction]:
         """Predict the BoT completion time from live progress.

@@ -158,7 +158,8 @@ class CloudArbiter:
     def __init__(self, policy: str = "fairshare",
                  max_total_workers: Optional[int] = None,
                  max_dci_workers: Optional[int] = None,
-                 dci_caps: Optional[Dict[str, int]] = None):
+                 dci_caps: Optional[Dict[str, int]] = None,
+                 admission=None):
         if policy not in ARBITRATION_POLICIES:
             raise ValueError(f"unknown arbitration policy {policy!r}; "
                              f"available: {', '.join(ARBITRATION_POLICIES)}")
@@ -173,6 +174,11 @@ class CloudArbiter:
         self.max_total_workers = max_total_workers
         self.max_dci_workers = max_dci_workers
         self.dci_caps = dict(dci_caps or {})
+        #: optional :class:`~repro.core.admission.AdmissionController`
+        #: gating pooled QoS orders on the history plane's predicted
+        #: credit cost (the scenario harness consults it at admission
+        #: time; the scheduler releases its commitments on finalize)
+        self.admission = admission
 
     # ------------------------------------------------------------------
     def service_order(self, runs: Sequence[QoSRun],
@@ -465,6 +471,10 @@ class SpeQuloSScheduler:
         run.finished = True
         if self.credits.get_order(run.bot_id) is not None:
             self.credits.close(run.bot_id)
+        if self.arbiter is not None and self.arbiter.admission is not None:
+            # the closed run's actual spend is settled in the pool, so
+            # its predicted-cost commitment stops reserving credits
+            self.arbiter.admission.release(run.bot_id)
         if self._on_run_finished is not None:
             self._on_run_finished(run)
 

@@ -36,6 +36,7 @@ from repro.core.scheduler import (
     SpeQuloSScheduler,
 )
 from repro.core.strategies import StrategyCombo
+from repro.history import env_key_of
 from repro.middleware.base import DGServer
 from repro.simulator.engine import Simulation
 from repro.workload.bot import BagOfTasks
@@ -147,7 +148,7 @@ class SpeQuloS:
         """History bucket: same BE-DCI + same BoT category (§4.3.3
         fits α per trace, middleware and category; the DCI name is
         expected to identify trace + middleware)."""
-        return f"{dci}//{category}"
+        return env_key_of(dci, category)
 
     def _archive_run(self, run: QoSRun) -> None:
         env = self._bot_env.get(run.bot_id)
@@ -155,7 +156,10 @@ class SpeQuloS:
             return
         mon = self.info.monitor(run.bot_id)
         if mon.done:
-            self.info.archive_execution(env, mon)
+            order = self.credits.get_order(run.bot_id)
+            self.info.archive_execution(
+                env, mon,
+                credits_spent=order.spent if order is not None else 0.0)
 
     def monitor(self, bot_id: str) -> BoTMonitor:
         return self.info.monitor(bot_id)

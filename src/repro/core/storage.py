@@ -1,126 +1,19 @@
-"""History archive backends for the Information module.
+"""Compatibility shim: history backends moved to :mod:`repro.history`.
 
-The production SpeQuloS keeps BoT execution history in MySQL; the
-reproduction offers an in-memory store (used by simulations) and a
-SQLite store (stdlib, used when persistence across processes matters,
-e.g. the prediction-service example).  Both implement the same
-:class:`HistoryStore` interface, so the Oracle does not care.
+The archive backends grew into the history-plane subsystem
+(:mod:`repro.history`): records and process-local stores in
+:mod:`repro.history.records`, the cross-run salted store in
+:mod:`repro.history.persistent`, the query façade in
+:mod:`repro.history.plane`.  This module keeps the historical import
+path alive for existing callers.
 """
 
-from __future__ import annotations
-
-import json
-import sqlite3
-from dataclasses import dataclass
-from typing import Dict, List, Protocol
-
-import numpy as np
+from repro.history.records import (
+    ExecutionRecord,
+    HistoryStore,
+    InMemoryHistoryStore,
+    SQLiteHistoryStore,
+)
 
 __all__ = ["ExecutionRecord", "HistoryStore", "InMemoryHistoryStore",
            "SQLiteHistoryStore"]
-
-
-@dataclass(frozen=True)
-class ExecutionRecord:
-    """Archived summary of one finished BoT execution.
-
-    ``grid[i]`` is ``tc((i+1)/100)`` — elapsed seconds when (i+1) % of
-    the BoT had completed — NaN-padded if the grid was truncated.
-    """
-
-    env_key: str
-    n_tasks: int
-    makespan: float
-    grid: np.ndarray
-
-    def tc_at(self, fraction: float) -> float:
-        """tc(fraction) looked up on the percent grid (nearest cell)."""
-        if not 0.0 < fraction <= 1.0:
-            raise ValueError("fraction must be in (0, 1]")
-        idx = min(99, max(0, int(round(fraction * 100)) - 1))
-        return float(self.grid[idx])
-
-
-class HistoryStore(Protocol):
-    """Interface shared by archive backends."""
-
-    def add(self, rec: ExecutionRecord) -> None: ...
-
-    def fetch(self, env_key: str) -> List[ExecutionRecord]: ...
-
-    def env_keys(self) -> List[str]: ...
-
-    def __len__(self) -> int: ...
-
-
-class InMemoryHistoryStore:
-    """Dict-of-lists archive; the default for simulations."""
-
-    def __init__(self) -> None:
-        self._data: Dict[str, List[ExecutionRecord]] = {}
-        self._count = 0
-
-    def add(self, rec: ExecutionRecord) -> None:
-        self._data.setdefault(rec.env_key, []).append(rec)
-        self._count += 1
-
-    def fetch(self, env_key: str) -> List[ExecutionRecord]:
-        return list(self._data.get(env_key, ()))
-
-    def env_keys(self) -> List[str]:
-        return sorted(self._data)
-
-    def __len__(self) -> int:
-        return self._count
-
-
-class SQLiteHistoryStore:
-    """SQLite-backed archive (``:memory:`` or a file path)."""
-
-    _SCHEMA = """
-    CREATE TABLE IF NOT EXISTS executions (
-        id INTEGER PRIMARY KEY AUTOINCREMENT,
-        env_key TEXT NOT NULL,
-        n_tasks INTEGER NOT NULL,
-        makespan REAL NOT NULL,
-        grid TEXT NOT NULL
-    );
-    CREATE INDEX IF NOT EXISTS idx_env ON executions (env_key);
-    """
-
-    def __init__(self, path: str = ":memory:"):
-        self._conn = sqlite3.connect(path)
-        self._conn.executescript(self._SCHEMA)
-        self._conn.commit()
-
-    def add(self, rec: ExecutionRecord) -> None:
-        grid_json = json.dumps([None if np.isnan(v) else float(v)
-                                for v in rec.grid])
-        self._conn.execute(
-            "INSERT INTO executions (env_key, n_tasks, makespan, grid) "
-            "VALUES (?, ?, ?, ?)",
-            (rec.env_key, rec.n_tasks, rec.makespan, grid_json))
-        self._conn.commit()
-
-    def fetch(self, env_key: str) -> List[ExecutionRecord]:
-        rows = self._conn.execute(
-            "SELECT env_key, n_tasks, makespan, grid FROM executions "
-            "WHERE env_key = ? ORDER BY id", (env_key,)).fetchall()
-        out = []
-        for env, n, mk, grid_json in rows:
-            grid = np.array([np.nan if v is None else v
-                             for v in json.loads(grid_json)])
-            out.append(ExecutionRecord(env, n, mk, grid))
-        return out
-
-    def env_keys(self) -> List[str]:
-        rows = self._conn.execute(
-            "SELECT DISTINCT env_key FROM executions ORDER BY env_key")
-        return [r[0] for r in rows.fetchall()]
-
-    def __len__(self) -> int:
-        (n,) = self._conn.execute("SELECT COUNT(*) FROM executions").fetchone()
-        return int(n)
-
-    def close(self) -> None:
-        self._conn.close()

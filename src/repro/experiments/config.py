@@ -24,8 +24,10 @@ from dataclasses import dataclass, replace
 from typing import Optional, Tuple
 
 from repro.cloud.registry import PROVIDER_NAMES
+from repro.core.admission import ADMISSION_MODES
 from repro.core.routing import ROUTING_POLICIES
 from repro.core.scheduler import ARBITRATION_POLICIES
+from repro.history import HISTORY_MODES
 from repro.infra.catalog import TRACE_NAMES, get_trace_spec
 from repro.middleware import MIDDLEWARE_NAMES
 from repro.workload.categories import BOT_CATEGORIES
@@ -314,6 +316,20 @@ class ScenarioConfig:
     max_dci_workers: Optional[int] = None
     deadline_factor: Optional[float] = None
     horizon_days: float = 15.0
+    #: execution-history backend feeding the Oracle, the history-fed
+    #: routing policies and admission control: None/"memory" = a fresh
+    #: in-memory archive per run (the default — results stay pure
+    #: functions of the config), "persistent" = the shared cross-run
+    #: archive next to the campaign store (REPRO_HISTORY overrides its
+    #: path).  NOTE: a persistent-history run depends on the archive's
+    #: state, so the campaign store records whatever the *first*
+    #: execution of the config observed.
+    history: Optional[str] = None
+    #: admission control on pooled QoS orders: None = admit everyone,
+    #: "reject" = drop orders whose plane-predicted credit cost
+    #: exceeds the pool's uncommitted remainder (the BoT still runs
+    #: best-effort), "defer" = retry such orders periodically
+    admission: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "dcis", tuple(self.dcis))
@@ -358,6 +374,14 @@ class ScenarioConfig:
             raise ValueError("max_dci_workers must be >= 1 or None")
         if self.horizon_days <= 0:
             raise ValueError("horizon_days must be positive")
+        if self.history is not None and self.history not in HISTORY_MODES:
+            raise ValueError(f"unknown history mode {self.history!r}; "
+                             f"available: {', '.join(HISTORY_MODES)}")
+        if self.admission is not None \
+                and self.admission not in ADMISSION_MODES:
+            raise ValueError(
+                f"unknown admission mode {self.admission!r}; "
+                f"available: {', '.join(ADMISSION_MODES)}")
 
     # ------------------------------------------------------------------
     def with_routing(self, routing: str) -> "ScenarioConfig":
@@ -367,6 +391,10 @@ class ScenarioConfig:
     def with_policy(self, policy: str) -> "ScenarioConfig":
         """The paired scenario under a different arbitration policy."""
         return replace(self, policy=policy)
+
+    def with_admission(self, admission: Optional[str]) -> "ScenarioConfig":
+        """The paired scenario under a different admission mode."""
+        return replace(self, admission=admission)
 
     @property
     def horizon(self) -> float:

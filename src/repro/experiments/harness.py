@@ -46,8 +46,11 @@ import numpy as np
 
 from repro.cloud.api import ComputeDriver
 from repro.cloud.registry import get_driver
+from repro.core.admission import DEFERRED, GRANTED
+from repro.core.info import InformationModule
 from repro.core.scheduler import CloudArbiter, SchedulerConfig
 from repro.core.service import SpeQuloS
+from repro.history import HistoryPlane
 from repro.infra.catalog import get_trace_spec
 from repro.infra.node import Node
 from repro.infra.pool import NodePool
@@ -159,10 +162,17 @@ class ScenarioHarness:
 
     def __init__(self, horizon: float,
                  arbiter: Optional[CloudArbiter] = None,
-                 scheduler_config: Optional[SchedulerConfig] = None):
+                 scheduler_config: Optional[SchedulerConfig] = None,
+                 history=None):
         self.sim = Simulation(horizon=horizon)
         self.arbiter = arbiter
         self.scheduler_config = scheduler_config
+        #: the scenario's history plane: a fresh in-memory archive by
+        #: default (bit-identical to the pre-plane behavior), or the
+        #: shared persistent plane when the scenario opts in — the
+        #: SpeQuloS Information module archives into it and the
+        #: Oracle / routers / admission controller read through it
+        self.history: HistoryPlane = HistoryPlane.ensure(history)
         self.dcis: "OrderedDict[str, HarnessDCI]" = OrderedDict()
         self._service: Optional[SpeQuloS] = None
 
@@ -204,8 +214,10 @@ class ScenarioHarness:
     def service(self) -> SpeQuloS:
         """The SpeQuloS instance over every DCI (created on first use)."""
         if self._service is None:
-            self._service = SpeQuloS(self.sim, arbiter=self.arbiter,
-                                     scheduler_config=self.scheduler_config)
+            self._service = SpeQuloS(
+                self.sim, info=InformationModule(store=self.history),
+                arbiter=self.arbiter,
+                scheduler_config=self.scheduler_config)
             for dci in self.dcis.values():
                 self._service.connect_dci(dci.name, dci.server, dci.driver)
         return self._service
@@ -218,13 +230,54 @@ class ScenarioHarness:
     # submission
     # ------------------------------------------------------------------
     def admit_pooled(self, sub, dci_name: str, combo,
-                     pool_id: str) -> None:
-        """Admit one tenant submission on a DCI against a shared pool."""
+                     pool_id: str) -> str:
+        """Admit one tenant submission on a DCI against a shared pool.
+
+        Returns the admission verdict: ``"granted"`` (a pooled QoS
+        order is opened), or — when the arbiter carries an
+        :class:`~repro.core.admission.AdmissionController` whose
+        predicted cost exceeds the pool's uncommitted remainder —
+        ``"rejected"`` (no order, the BoT runs best-effort) or
+        ``"deferred"`` (the order is retried every ``retry_period``
+        until the pool can cover it).  The BoT is registered
+        (monitored) and submitted to its BE-DCI in every case.
+        """
         service = self.service
         service.register_qos(sub.bot, dci_name, combo,
                              deadline=sub.deadline)
-        service.order_qos_pooled(sub.bot_id, pool_id)
+        ctrl = self.arbiter.admission if self.arbiter is not None else None
+        verdict = GRANTED
+        if ctrl is not None:
+            pool = service.credits.get_pool(pool_id)
+            env = service.env_key(dci_name, sub.bot.category)
+            verdict = ctrl.evaluate(sub.bot_id, env, sub.bot.size,
+                                    pool, credits=service.credits).verdict
+        if verdict == GRANTED:
+            service.order_qos_pooled(sub.bot_id, pool_id)
+        elif verdict == DEFERRED:
+            self.sim.at(self.sim.now + ctrl.retry_period,
+                        self._retry_deferred, sub, dci_name, pool_id)
         self.dcis[dci_name].server.submit_bot(sub.bot, at=self.sim.now)
+        return verdict
+
+    def _retry_deferred(self, sub, dci_name: str, pool_id: str) -> None:
+        """Re-evaluate a deferred QoS claim; keep retrying until the
+        pool covers it, the BoT completes, or the horizon ends."""
+        service = self.service
+        ctrl = self.arbiter.admission if self.arbiter is not None else None
+        if ctrl is None:
+            return
+        pool = service.credits.get_pool(pool_id)
+        if pool is None or pool.closed or service.monitor(sub.bot_id).done:
+            return
+        env = service.env_key(dci_name, sub.bot.category)
+        decision = ctrl.evaluate(sub.bot_id, env, sub.bot.size, pool,
+                                 credits=service.credits)
+        if decision.verdict == GRANTED:
+            service.order_qos_pooled(sub.bot_id, pool_id)
+        else:
+            self.sim.at(self.sim.now + ctrl.retry_period,
+                        self._retry_deferred, sub, dci_name, pool_id)
 
     def stop_when_complete(self, bot_ids: Iterable[str]) -> None:
         """Stop the simulation once every listed BoT has completed.

@@ -39,6 +39,7 @@ from repro.analysis.metrics import (
     tail_fraction_of_time,
     tail_slowdown,
 )
+from repro.core.admission import AdmissionController
 from repro.core.credit import CREDITS_PER_CPU_HOUR
 from repro.core.routing import make_router
 from repro.core.scheduler import CloudArbiter
@@ -50,6 +51,7 @@ from repro.experiments.config import (
     ScenarioConfig,
 )
 from repro.experiments.harness import ScenarioHarness
+from repro.history import open_history_plane
 from repro.workload.generator import make_bot
 from repro.workload.tenants import TenantSubmission, generate_tenants
 
@@ -376,6 +378,9 @@ class FederatedTenantOutcome(TenantOutcome):
 
     #: resolved DCI name, or "-" when never admitted before the horizon
     dci: str = "-"
+    #: admission verdict on the QoS order ("granted" | "rejected" |
+    #: "deferred"; "-" when the tenant never arrived before the horizon)
+    admission: str = "granted"
 
 
 @dataclass
@@ -442,6 +447,14 @@ class FederatedResult:
     def tenants_on(self, dci_name: str) -> List[FederatedTenantOutcome]:
         return [t for t in self.tenants if t.dci == dci_name]
 
+    def admission_counts(self) -> Dict[str, int]:
+        """Verdict histogram over the tenants that arrived in time."""
+        out: Dict[str, int] = {}
+        for t in self.tenants:
+            if t.admission != "-":
+                out[t.admission] = out.get(t.admission, 0) + 1
+        return out
+
 
 def run_federated(cfg: ScenarioConfig) -> FederatedResult:
     """Simulate N tenants over a federation of DCIs and clouds.
@@ -452,6 +465,12 @@ def run_federated(cfg: ScenarioConfig) -> FederatedResult:
     :class:`~repro.core.scheduler.CloudArbiter` rations the global
     worker budget, the optional per-DCI caps and the one shared credit
     pool across all bindings.
+
+    The scenario's history plane (``cfg.history``: fresh in-memory by
+    default, the shared persistent archive on request) feeds the
+    Oracle's α calibration, the history-driven routing policies and
+    — when ``cfg.admission`` is set — the admission controller gating
+    pooled QoS orders on predicted credit cost.
     """
     wall0 = time.perf_counter()
     horizon = cfg.horizon
@@ -460,11 +479,15 @@ def run_federated(cfg: ScenarioConfig) -> FederatedResult:
     dci_caps = {name: spec.worker_cap
                 for name, spec in zip(names, cfg.dcis)
                 if spec.worker_cap is not None}
+    plane = open_history_plane(cfg.history)
+    controller = (AdmissionController(plane, mode=cfg.admission)
+                  if cfg.admission is not None else None)
     arbiter = CloudArbiter(cfg.policy,
                            max_total_workers=cfg.max_total_workers,
                            max_dci_workers=cfg.max_dci_workers,
-                           dci_caps=dci_caps)
-    harness = ScenarioHarness(horizon, arbiter=arbiter)
+                           dci_caps=dci_caps,
+                           admission=controller)
+    harness = ScenarioHarness(horizon, arbiter=arbiter, history=plane)
     for i, spec in enumerate(cfg.dcis):
         harness.build_dci(names[i], spec.trace, spec.middleware, cfg.seed,
                           cfg.node_cap_for(spec), provider=spec.provider,
@@ -488,15 +511,18 @@ def run_federated(cfg: ScenarioConfig) -> FederatedResult:
 
     harness.stop_when_complete(sub.bot_id for sub in tenants)
 
-    router = make_router(cfg.routing, affinity=cfg.affinity_map())
+    router = make_router(cfg.routing, affinity=cfg.affinity_map(),
+                         plane=plane)
     targets = harness.routing_targets()
     routed: Dict[str, str] = {}
+    admissions: Dict[str, str] = {}
 
     def _admit(sub: TenantSubmission) -> None:
         index = router.route(sub.bot.category, targets, harness.sim.now)
         dci_name = targets[index].name
         routed[sub.bot_id] = dci_name
-        harness.admit_pooled(sub, dci_name, combo, pool_id)
+        admissions[sub.bot_id] = harness.admit_pooled(sub, dci_name,
+                                                     combo, pool_id)
 
     for sub in tenants:
         if sub.arrival < horizon:
@@ -507,11 +533,13 @@ def run_federated(cfg: ScenarioConfig) -> FederatedResult:
     for sub in tenants:
         if sub.bot_id not in service.scheduler.runs:
             outcomes.append(_unadmitted_outcome(
-                sub, horizon, cls=FederatedTenantOutcome))
+                sub, horizon, cls=FederatedTenantOutcome,
+                admission="-"))
         else:
             outcomes.append(_tenant_outcome(
                 service, sub, horizon, cls=FederatedTenantOutcome,
-                dci=routed[sub.bot_id]))
+                dci=routed[sub.bot_id],
+                admission=admissions[sub.bot_id]))
 
     dci_outcomes: List[DCIOutcome] = []
     for name, spec in zip(names, cfg.dcis):

@@ -1,0 +1,52 @@
+"""α calibration and the ±20 % prediction-success criterion (§3.4).
+
+The Oracle predicts ``tp = α · tc(r) / r``; ``α`` is calibrated per
+execution environment from archived history "to minimize the average
+difference between the predicted time and the completion times
+actually observed".  Both functions are pure statistics over history
+data, so they live in the history plane rather than the Oracle — the
+Oracle (and the figure builders, and the learning report) import them
+from here.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["SUCCESS_TOLERANCE", "fit_alpha", "prediction_success"]
+
+#: tolerance of the success criterion (§3.4: "± 20% tolerance")
+SUCCESS_TOLERANCE = 0.20
+
+
+def fit_alpha(base_predictions: Sequence[float],
+              actuals: Sequence[float]) -> float:
+    """Least-absolute-error scale factor.
+
+    Minimizes ``sum_i |alpha * p_i - a_i|`` exactly: the optimum is the
+    weighted median of the ratios ``a_i / p_i`` with weights ``p_i``
+    (the derivative of the objective changes sign there).  Returns 1.0
+    with no usable history, as the paper initializes α.
+    """
+    p = np.asarray(list(base_predictions), dtype=float)
+    a = np.asarray(list(actuals), dtype=float)
+    mask = np.isfinite(p) & np.isfinite(a) & (p > 0) & (a > 0)
+    p, a = p[mask], a[mask]
+    if p.size == 0:
+        return 1.0
+    ratios = a / p
+    order = np.argsort(ratios)
+    ratios, weights = ratios[order], p[order]
+    cum = np.cumsum(weights)
+    idx = int(np.searchsorted(cum, cum[-1] / 2.0))
+    return float(ratios[min(idx, ratios.size - 1)])
+
+
+def prediction_success(predicted: float, actual: float,
+                       tolerance: float = SUCCESS_TOLERANCE) -> bool:
+    """§3.4 criterion: actual within [80 %, 120 %] of the prediction."""
+    if predicted <= 0:
+        return False
+    return (1 - tolerance) * predicted <= actual <= (1 + tolerance) * predicted

@@ -1,0 +1,188 @@
+"""Execution-history records and archive backends.
+
+The production SpeQuloS keeps BoT execution history in MySQL; the
+reproduction archives, per finished execution, the completion-time
+grid ``tc(x)`` for ``x = 1%..100%`` plus the task count, makespan and
+credits spent, under an *environment key* (BE-DCI, middleware, BoT
+category — ``"<dci>//<CATEGORY>"``).
+
+Two process-local backends live here — an in-memory store (the default
+for simulations) and a plain SQLite store (``:memory:`` or a file
+path).  The cross-run *persistent* backend with code-fingerprint
+salting is :class:`repro.history.persistent.PersistentHistoryStore`.
+All of them implement the same :class:`HistoryStore` interface, so the
+:class:`~repro.history.plane.HistoryPlane` (and through it the Oracle)
+does not care which one it reads.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sqlite3
+from dataclasses import dataclass
+from typing import Dict, List, Protocol
+
+import numpy as np
+
+__all__ = ["GRID_FRACTIONS", "ExecutionRecord", "HistoryStore",
+           "InMemoryHistoryStore", "SQLiteHistoryStore", "env_key_of",
+           "split_env_key", "tc_grid"]
+
+#: percent grid on which execution history archives tc(x)
+GRID_FRACTIONS = np.arange(1, 101) / 100.0
+
+
+def tc_grid(completion_times: List[float], total: int) -> np.ndarray:
+    """``tc(x)`` for x = 1%..100% (NaN where not yet reached)."""
+    out = np.full(100, np.nan)
+    n = len(completion_times)
+    for i, frac in enumerate(GRID_FRACTIONS):
+        k = max(1, math.ceil(frac * total))
+        if k <= n:
+            out[i] = completion_times[k - 1]
+    return out
+
+
+def env_key_of(dci: str, category: str) -> str:
+    """History bucket: same BE-DCI + same BoT category (§4.3.3 fits α
+    per trace, middleware and category; the DCI name is expected to
+    identify trace + middleware)."""
+    return f"{dci}//{category}"
+
+
+def split_env_key(env_key: str) -> tuple:
+    """``(dci, category)`` halves of an environment key."""
+    dci, _, category = env_key.rpartition("//")
+    return dci, category
+
+
+@dataclass(frozen=True)
+class ExecutionRecord:
+    """Archived summary of one finished BoT execution.
+
+    ``grid[i]`` is ``tc((i+1)/100)`` — elapsed seconds when (i+1) % of
+    the BoT had completed — NaN-padded if the grid was truncated.
+    ``credits_spent`` is what the execution's QoS order billed (0 for
+    plain-monitoring runs); the admission controller's predicted cost
+    comes from it.
+    """
+
+    env_key: str
+    n_tasks: int
+    makespan: float
+    grid: np.ndarray
+    credits_spent: float = 0.0
+
+    def tc_at(self, fraction: float) -> float:
+        """tc(fraction) looked up on the percent grid (nearest cell)."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        idx = min(99, max(0, int(round(fraction * 100)) - 1))
+        return float(self.grid[idx])
+
+
+class HistoryStore(Protocol):
+    """Interface shared by archive backends."""
+
+    def add(self, rec: ExecutionRecord) -> None: ...
+
+    def fetch(self, env_key: str) -> List[ExecutionRecord]: ...
+
+    def env_keys(self) -> List[str]: ...
+
+    def __len__(self) -> int: ...
+
+
+def encode_grid(grid: np.ndarray) -> str:
+    """JSON form of a tc grid (NaN cells as nulls) for SQLite backends."""
+    return json.dumps([None if np.isnan(v) else float(v) for v in grid])
+
+
+def decode_grid(grid_json: str) -> np.ndarray:
+    return np.array([np.nan if v is None else v
+                     for v in json.loads(grid_json)])
+
+
+class InMemoryHistoryStore:
+    """Dict-of-lists archive; the default for simulations."""
+
+    def __init__(self) -> None:
+        self._data: Dict[str, List[ExecutionRecord]] = {}
+        self._count = 0
+
+    def add(self, rec: ExecutionRecord) -> None:
+        self._data.setdefault(rec.env_key, []).append(rec)
+        self._count += 1
+
+    def fetch(self, env_key: str) -> List[ExecutionRecord]:
+        return list(self._data.get(env_key, ()))
+
+    def fetch_rates(self, env_key: str) -> List[tuple]:
+        """(n_tasks, makespan) pairs only — the throughput probes run
+        per routing decision and never need the grids."""
+        return [(rec.n_tasks, rec.makespan)
+                for rec in self._data.get(env_key, ())]
+
+    def env_keys(self) -> List[str]:
+        return sorted(self._data)
+
+    def __len__(self) -> int:
+        return self._count
+
+
+class SQLiteHistoryStore:
+    """SQLite-backed archive (``:memory:`` or a file path)."""
+
+    _SCHEMA = """
+    CREATE TABLE IF NOT EXISTS executions (
+        id INTEGER PRIMARY KEY AUTOINCREMENT,
+        env_key TEXT NOT NULL,
+        n_tasks INTEGER NOT NULL,
+        makespan REAL NOT NULL,
+        grid TEXT NOT NULL,
+        credits_spent REAL NOT NULL DEFAULT 0.0
+    );
+    CREATE INDEX IF NOT EXISTS idx_env ON executions (env_key);
+    """
+
+    def __init__(self, path: str = ":memory:"):
+        self._conn = sqlite3.connect(path)
+        self._conn.executescript(self._SCHEMA)
+        self._conn.commit()
+
+    def add(self, rec: ExecutionRecord) -> None:
+        self._conn.execute(
+            "INSERT INTO executions "
+            "(env_key, n_tasks, makespan, grid, credits_spent) "
+            "VALUES (?, ?, ?, ?, ?)",
+            (rec.env_key, rec.n_tasks, rec.makespan,
+             encode_grid(rec.grid), rec.credits_spent))
+        self._conn.commit()
+
+    def fetch(self, env_key: str) -> List[ExecutionRecord]:
+        rows = self._conn.execute(
+            "SELECT env_key, n_tasks, makespan, grid, credits_spent "
+            "FROM executions WHERE env_key = ? ORDER BY id",
+            (env_key,)).fetchall()
+        return [ExecutionRecord(env, n, mk, decode_grid(grid_json), spent)
+                for env, n, mk, grid_json, spent in rows]
+
+    def fetch_rates(self, env_key: str) -> List[tuple]:
+        """(n_tasks, makespan) pairs without decoding the grids."""
+        rows = self._conn.execute(
+            "SELECT n_tasks, makespan FROM executions "
+            "WHERE env_key = ? ORDER BY id", (env_key,)).fetchall()
+        return [(int(n), float(mk)) for n, mk in rows]
+
+    def env_keys(self) -> List[str]:
+        rows = self._conn.execute(
+            "SELECT DISTINCT env_key FROM executions ORDER BY env_key")
+        return [r[0] for r in rows.fetchall()]
+
+    def __len__(self) -> int:
+        (n,) = self._conn.execute("SELECT COUNT(*) FROM executions").fetchone()
+        return int(n)
+
+    def close(self) -> None:
+        self._conn.close()

@@ -1,0 +1,201 @@
+"""Admission control: predicted credit cost gates pooled QoS orders.
+
+Unit level: the controller grants cold environments, rejects or defers
+claims whose plane-predicted cost exceeds the pool's *uncommitted*
+remainder, and tracks commitments so an arrival burst cannot all be
+admitted against the same credits.  Integration level: a federated
+scenario over a primed persistent archive really withholds QoS from
+tenants the pool cannot cover — they still run best-effort — and the
+outcome records the verdicts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.admission import (
+    DEFERRED,
+    GRANTED,
+    REJECTED,
+    AdmissionController,
+)
+from repro.core.credit import CreditPool
+from repro.experiments import DCISpec, ScenarioConfig, run_federated
+from repro.history import ExecutionRecord, HistoryPlane
+
+ENV = "dci0-seti-boinc//SMALL"
+
+
+def _plane(cost_per_task: float, n_tasks: int = 10) -> HistoryPlane:
+    plane = HistoryPlane()
+    plane.add(ExecutionRecord(ENV, n_tasks, 1000.0,
+                              np.linspace(10.0, 1000.0, 100),
+                              credits_spent=cost_per_task * n_tasks))
+    return plane
+
+
+def _pool(provisioned: float, spent: float = 0.0) -> CreditPool:
+    return CreditPool(pool_id="p", user="u", provisioned=provisioned,
+                      spent=spent)
+
+
+# ----------------------------------------------------------------- units
+def test_cold_environment_is_always_granted():
+    ctrl = AdmissionController(HistoryPlane(), mode="reject")
+    decision = ctrl.evaluate("b1", ENV, 1000, _pool(1.0))
+    assert decision.verdict == GRANTED
+    assert decision.predicted_cost is None
+    assert ctrl.committed() == 0.0  # nothing to commit without a forecast
+
+
+def test_reject_when_predicted_cost_exceeds_pool_remainder():
+    ctrl = AdmissionController(_plane(2.0), mode="reject")
+    ok = ctrl.evaluate("b1", ENV, 10, _pool(100.0))       # 20 <= 100
+    assert ok.verdict == GRANTED and ok.predicted_cost == 20.0
+    over = ctrl.evaluate("b2", ENV, 100, _pool(100.0))    # 200 > 80 left
+    assert over.verdict == REJECTED
+    assert over.available == pytest.approx(80.0)
+
+
+def test_defer_mode_defers_instead_of_rejecting():
+    ctrl = AdmissionController(_plane(2.0), mode="defer")
+    assert ctrl.evaluate("b1", ENV, 100, _pool(100.0)).verdict == DEFERRED
+    # once the pool can cover it (e.g. a deposit or released claims),
+    # the re-evaluation grants
+    assert ctrl.evaluate("b1", ENV, 100, _pool(300.0)).verdict == GRANTED
+
+
+def test_commitments_prevent_burst_over_admission_until_released():
+    ctrl = AdmissionController(_plane(2.0), mode="reject")
+    pool = _pool(50.0)
+    assert ctrl.evaluate("b1", ENV, 10, pool).verdict == GRANTED   # 20
+    assert ctrl.evaluate("b2", ENV, 10, pool).verdict == GRANTED   # 40
+    # a third identical claim exceeds the uncommitted 10 remaining
+    assert ctrl.evaluate("b3", ENV, 10, pool).verdict == REJECTED
+    ctrl.release("b1")
+    assert ctrl.evaluate("b3", ENV, 10, pool).verdict == GRANTED
+    assert ctrl.counts() == {GRANTED: 3, REJECTED: 0, DEFERRED: 0}
+
+
+def test_commitments_net_out_in_flight_spend():
+    """A granted run's billed spend already shrank pool.remaining, so
+    only its *unspent* forecast may keep reserving credits — without
+    the netting, mid-run claims would count twice and starve later
+    arrivals (regression)."""
+    from repro.core.credit import CreditSystem
+
+    credits = CreditSystem()
+    credits.deposit("u", 1000.0)
+    pool = credits.open_pool("p", "u", 1000.0)
+    credits.join_pool("b1", "p")
+
+    ctrl = AdmissionController(_plane(2.0), mode="reject")
+    assert ctrl.evaluate("b1", ENV, 300, pool,
+                         credits=credits).verdict == GRANTED  # forecast 600
+    credits.bill("b1", 500.0)          # in-flight spend
+    # remaining 500, outstanding commitment 600-500=100 -> available 400
+    decision = ctrl.evaluate("b2", ENV, 50, pool, credits=credits)
+    assert decision.verdict == GRANTED  # 100 <= 400
+    assert decision.available == pytest.approx(400.0)
+    # without the credits system the gate is conservative (full 600)
+    assert ctrl.committed() == pytest.approx(600.0 + 100.0)
+    assert ctrl.committed(credits) == pytest.approx(100.0 + 100.0)
+
+
+def test_safety_factor_tightens_the_gate():
+    ctrl = AdmissionController(_plane(2.0), mode="reject", safety=2.0)
+    # predicted 20, safety-inflated 40 > 30
+    assert ctrl.evaluate("b1", ENV, 10, _pool(30.0)).verdict == REJECTED
+
+
+def test_controller_validation():
+    plane = HistoryPlane()
+    with pytest.raises(ValueError):
+        AdmissionController(plane, mode="drop")
+    with pytest.raises(ValueError):
+        AdmissionController(plane, safety=0.0)
+    with pytest.raises(ValueError):
+        AdmissionController(plane, retry_period=0.0)
+
+
+def test_scenario_config_validates_admission_and_history():
+    dcis = (DCISpec(trace="seti", middleware="boinc"),)
+    with pytest.raises(ValueError):
+        ScenarioConfig(dcis=dcis, seed=1, admission="drop")
+    with pytest.raises(ValueError):
+        ScenarioConfig(dcis=dcis, seed=1, history="mysql")
+    cfg = ScenarioConfig(dcis=dcis, seed=1, admission="reject",
+                         history="memory")
+    assert cfg.with_admission(None).admission is None
+
+
+# ----------------------------------------------------------- integration
+def _scenario(**overrides) -> ScenarioConfig:
+    base = dict(
+        dcis=(DCISpec(trace="seti", middleware="boinc"),
+              DCISpec(trace="nd", middleware="xwhep", max_nodes=10)),
+        seed=6000, n_tenants=4, bot_size=20, strategy="9C-C-R",
+        pool_fraction=0.05, arrival_rate_per_hour=2.0,
+        horizon_days=2.0, history="persistent")
+    base.update(overrides)
+    return ScenarioConfig(**base)
+
+
+def _prime_archive(monkeypatch, tmp_path, cost_per_task: float):
+    """Point REPRO_HISTORY at a fresh archive primed with expensive
+    history for both DCIs' SMALL bucket."""
+    path = str(tmp_path / "history.sqlite")
+    monkeypatch.setenv("REPRO_HISTORY", path)
+    from repro.history import PersistentHistoryStore
+    store = PersistentHistoryStore(path)
+    for dci in ("dci0-seti-boinc", "dci1-nd-xwhep"):
+        n = 20
+        store.add(ExecutionRecord(f"{dci}//SMALL", n, 5000.0,
+                                  np.linspace(50.0, 5000.0, 100),
+                                  credits_spent=cost_per_task * n))
+    return path
+
+
+def test_federated_admission_reject_withholds_qos_but_not_execution(
+        monkeypatch, tmp_path):
+    _prime_archive(monkeypatch, tmp_path, cost_per_task=1e6)
+    res = run_federated(_scenario(admission="reject"))
+    arrived = [t for t in res.tenants if t.admission != "-"]
+    assert arrived and all(t.admission == "rejected" for t in arrived)
+    # rejected tenants never bill the pool...
+    assert res.pool_spent == 0.0
+    assert all(t.credits_spent == 0.0 for t in res.tenants)
+    assert all(t.workers_launched == 0 for t in res.tenants)
+    # ...but their BoTs still complete best-effort on the DG
+    assert all(not t.censored for t in arrived)
+    assert res.admission_counts() == {"rejected": len(arrived)}
+
+
+def test_federated_admission_defer_records_deferred_verdicts(
+        monkeypatch, tmp_path):
+    _prime_archive(monkeypatch, tmp_path, cost_per_task=1e6)
+    res = run_federated(_scenario(admission="defer"))
+    arrived = [t for t in res.tenants if t.admission != "-"]
+    assert arrived and all(t.admission == "deferred" for t in arrived)
+    assert res.pool_spent == 0.0
+
+
+def test_federated_admission_grants_when_pool_covers_costs(
+        monkeypatch, tmp_path):
+    # archived cost ~ what the pool actually holds: everyone admitted
+    _prime_archive(monkeypatch, tmp_path, cost_per_task=1e-3)
+    res = run_federated(_scenario(admission="reject"))
+    arrived = [t for t in res.tenants if t.admission != "-"]
+    assert arrived and all(t.admission == "granted" for t in arrived)
+
+
+def test_admission_field_round_trips_the_store(monkeypatch, tmp_path):
+    from repro.campaign.store import ResultStore
+    _prime_archive(monkeypatch, tmp_path, cost_per_task=1e6)
+    cfg = _scenario(admission="reject")
+    res = run_federated(cfg)
+    store = ResultStore(":memory:")
+    store.put(cfg, res)
+    back = store.get(cfg)
+    assert back.config == cfg
+    assert [t.admission for t in back.tenants] == \
+        [t.admission for t in res.tenants]

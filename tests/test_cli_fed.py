@@ -87,3 +87,80 @@ def test_cli_store_stats_and_gc(capsys, tmp_path, monkeypatch):
 def test_cli_report_lists_federation():
     args = build_parser().parse_args(["report", "federation"])
     assert args.name == "federation"
+
+
+def test_cli_fed_admission_and_history_flags(capsys, tmp_path,
+                                             monkeypatch):
+    """--history persistent + --admission reject: a primed expensive
+    archive makes the CLI withhold every QoS order and say so."""
+    import numpy as np
+
+    from repro.history import ExecutionRecord, PersistentHistoryStore
+
+    path = str(tmp_path / "history.sqlite")
+    monkeypatch.setenv("REPRO_HISTORY", path)
+    store = PersistentHistoryStore(path)
+    for dci in ("dci0-seti-boinc", "dci1-nd-xwhep"):
+        store.add(ExecutionRecord(f"{dci}//SMALL", 20, 5000.0,
+                                  np.linspace(50.0, 5000.0, 100),
+                                  credits_spent=1e7))
+    rc = main(fed_args("--history", "persistent",
+                       "--admission", "reject"))
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "[rejected]" in out
+    assert "admission: 0 granted, 2 rejected, 0 deferred" in out
+
+
+def test_cli_fed_history_routing_policies(capsys):
+    for routing in ("history_weighted", "affinity_learned"):
+        rc = main(fed_args("--routing", routing))
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert f"fed2/{routing}/fairshare/SMALL/x2/s3" in out
+
+
+def test_cli_history_stats_and_gc(capsys, tmp_path, monkeypatch):
+    import numpy as np
+
+    from repro.history import ExecutionRecord, PersistentHistoryStore
+
+    path = str(tmp_path / "history.sqlite")
+    monkeypatch.setenv("REPRO_HISTORY", path)
+    stale = PersistentHistoryStore(path, salt="old")
+    stale.add(ExecutionRecord("nd-xwhep//SMALL", 10, 100.0,
+                              np.linspace(1.0, 100.0, 100), 5.0))
+    stale.close()
+    current = PersistentHistoryStore(path)
+    current.add(ExecutionRecord("nd-xwhep//SMALL", 10, 110.0,
+                                np.linspace(1.0, 110.0, 100), 5.0))
+    current.close()
+
+    assert main(["history", "stats"]) == 0
+    out = capsys.readouterr().out
+    assert "1 current records (1 stale)" in out
+    assert "nd-xwhep//SMALL" in out and "alpha" in out
+
+    assert main(["history", "gc"]) == 0
+    out = capsys.readouterr().out
+    assert "reclaimed 1 stale rows" in out
+    assert "1 records remain" in out
+
+
+def test_cli_history_stats_rejects_out_of_range_fraction(capsys):
+    for bad in ("0", "1.5", "-0.2"):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["history", "stats", "--at", bad])
+        assert "fraction must be in (0, 1]" in capsys.readouterr().err
+
+
+def test_cli_report_lists_learning():
+    args = build_parser().parse_args(["report", "learning"])
+    assert args.name == "learning"
+
+
+def test_cli_store_stats_prints_trace_cache_counters(capsys, tmp_path,
+                                                     monkeypatch):
+    monkeypatch.setenv("REPRO_STORE", str(tmp_path / "s.sqlite"))
+    assert main(["store", "stats"]) == 0
+    assert "trace cache" in capsys.readouterr().out

@@ -1,0 +1,197 @@
+"""Routing edge cases and the history-fed policies.
+
+The satellite bar: least-loaded tie-breaking with equal loads,
+all-DCIs-dead ranking, and affinity fallback when the pinned DCI has
+no live workers.  Plus the history plane's routing consumers:
+throughput-probe least-loaded, slowdown-weighted history routing, and
+learned affinity pins.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.routing import (
+    ROUTING_POLICIES,
+    AffinityRouter,
+    HistoryWeightedRouter,
+    LearnedAffinityRouter,
+    LeastLoadedRouter,
+    make_router,
+)
+from repro.history import ExecutionRecord, HistoryPlane
+
+
+class _FakePool:
+    def __init__(self, idle):
+        self._idle = idle
+
+    def idle_count(self, t):
+        return self._idle
+
+
+class _FakeServer:
+    def __init__(self, busy, backlog, idle):
+        self._busy, self._backlog = busy, backlog
+        self.pool = _FakePool(idle)
+
+    def busy_count(self):
+        return self._busy
+
+    def backlog(self):
+        return self._backlog
+
+
+class _FakeDCI:
+    def __init__(self, name, busy=0, backlog=0, idle=10):
+        self.name = name
+        self.server = _FakeServer(busy, backlog, idle)
+
+
+def _plane_with_slowdowns(entries, smoothing=1.0):
+    """Plane with one record per (dci, category, slowdown, rate)."""
+    plane = HistoryPlane(smoothing=smoothing)
+    for dci, category, slowdown, rate in entries:
+        makespan = 100.0 * slowdown      # ideal fixed at 100 s
+        grid = np.linspace(0.9, 90.0, 100)
+        grid[-1] = makespan
+        n_tasks = max(1, int(round(rate * makespan)))
+        plane.add(ExecutionRecord(f"{dci}//{category}", n_tasks,
+                                  makespan, grid))
+    return plane
+
+
+# ------------------------------------------------------------- edge cases
+def test_least_loaded_equal_nonzero_loads_tie_break_to_first():
+    # both DCIs at load 10/10 = 1.0: earliest declared wins, always
+    a = _FakeDCI("a", busy=5, backlog=5, idle=5)
+    b = _FakeDCI("b", busy=10, backlog=10, idle=10)
+    r = LeastLoadedRouter()
+    assert [r.route("SMALL", [a, b], 0.0) for _ in range(3)] == [0, 0, 0]
+
+
+def test_all_dcis_dead_ranking_is_deterministic_for_every_policy():
+    dead = [_FakeDCI("x", idle=0), _FakeDCI("y", idle=0)]
+    plane = HistoryPlane()  # empty: history policies run their fallbacks
+    assert LeastLoadedRouter().route("SMALL", dead, 0.0) == 0
+    assert LeastLoadedRouter(plane=plane).route("SMALL", dead, 0.0) == 0
+    assert HistoryWeightedRouter(plane=plane).route("SMALL", dead, 0.0) == 0
+    # round-robin fallbacks still cycle (they ignore liveness)
+    learned = LearnedAffinityRouter(plane=plane)
+    assert [learned.route("SMALL", dead, 0.0) for _ in range(2)] == [0, 1]
+
+
+def test_affinity_pinned_to_dead_dci_falls_back_when_skip_dead():
+    live = _FakeDCI("live", idle=4)
+    dead = _FakeDCI("dead", idle=0)
+    # historical default honors the pin even into a dead grid
+    assert AffinityRouter({"SMALL": "dead"}).route(
+        "SMALL", [live, dead], 0.0) == 1
+    # skip_dead releases the pin to the round-robin fallback
+    r = AffinityRouter({"SMALL": "dead"}, skip_dead=True)
+    assert [r.route("SMALL", [live, dead], 0.0) for _ in range(3)] == \
+        [0, 1, 0]
+    # a live pin is still honored with skip_dead on
+    r2 = AffinityRouter({"SMALL": "live"}, skip_dead=True)
+    assert r2.route("SMALL", [live, dead], 0.0) == 0
+
+
+# ------------------------------------------------------- history policies
+def test_least_loaded_with_plane_uses_throughput_drain():
+    # instantaneous probes say a (3 outstanding / 3 live = 1.0) beats
+    # b (8/4 = 2.0); history says b drains 8 units at 2/s (4 s) faster
+    # than a drains 3 at 0.1/s (30 s)
+    a = _FakeDCI("a", busy=3, backlog=0, idle=0)
+    b = _FakeDCI("b", busy=4, backlog=4, idle=0)
+    plane = _plane_with_slowdowns([("a", "SMALL", 1.0, 0.1),
+                                   ("b", "SMALL", 1.0, 2.0)])
+    assert LeastLoadedRouter().route("SMALL", [a, b], 0.0) == 0
+    assert LeastLoadedRouter(plane=plane).route("SMALL", [a, b], 0.0) == 1
+
+
+def test_history_probes_keep_the_dead_dci_invariant():
+    """A DCI with zero live workers must never win the drain ranking,
+    however fast its archived throughput says it drains when alive
+    (regression: 0 outstanding / positive rate used to score 0)."""
+    dead = _FakeDCI("dead", busy=0, backlog=0, idle=0)
+    alive = _FakeDCI("alive", busy=5, backlog=20, idle=5)
+    plane = _plane_with_slowdowns([("dead", "SMALL", 1.0, 100.0),
+                                   ("alive", "SMALL", 1.0, 0.5)])
+    assert LeastLoadedRouter(plane=plane).route(
+        "SMALL", [dead, alive], 0.0) == 1
+    assert HistoryWeightedRouter(plane=plane).route(
+        "SMALL", [dead, alive], 0.0) == 1
+    # every DCI dead: deterministic first-declared fallback, even warm
+    dead2 = _FakeDCI("alive", busy=0, backlog=0, idle=0)
+    assert HistoryWeightedRouter(plane=plane).route(
+        "SMALL", [dead, dead2], 0.0) == 0
+
+
+def test_least_loaded_with_partial_history_falls_back_instantaneous():
+    a = _FakeDCI("a", busy=3, backlog=0, idle=0)
+    b = _FakeDCI("b", busy=4, backlog=4, idle=0)
+    plane = _plane_with_slowdowns([("b", "SMALL", 1.0, 2.0)])  # a cold
+    assert LeastLoadedRouter(plane=plane).route("SMALL", [a, b], 0.0) == \
+        LeastLoadedRouter().route("SMALL", [a, b], 0.0)
+
+
+def test_history_weighted_penalizes_high_slowdown_categories():
+    # equal drain, but dci a historically serves SMALL with 4x tails
+    a = _FakeDCI("a", busy=2, backlog=0, idle=0)
+    b = _FakeDCI("b", busy=2, backlog=0, idle=0)
+    plane = _plane_with_slowdowns([("a", "SMALL", 4.0, 1.0),
+                                   ("b", "SMALL", 1.0, 1.0)])
+    assert HistoryWeightedRouter(plane=plane).route(
+        "SMALL", [a, b], 0.0) == 1
+    # an unseen category weights 1.0 everywhere: drain decides (tie -> a)
+    assert HistoryWeightedRouter(plane=plane).route(
+        "BIG", [a, b], 0.0) == 0
+
+
+def test_history_weighted_cold_plane_matches_least_loaded():
+    a = _FakeDCI("a", busy=5, backlog=5, idle=5)
+    b = _FakeDCI("b", busy=1, backlog=0, idle=5)
+    for targets in ([a, b], [b, a]):
+        assert HistoryWeightedRouter(plane=HistoryPlane()).route(
+            "SMALL", targets, 0.0) == \
+            LeastLoadedRouter().route("SMALL", targets, 0.0)
+    assert HistoryWeightedRouter(plane=None).route(
+        "SMALL", [a, b], 0.0) == 1
+
+
+def test_learned_affinity_pins_to_lowest_archived_slowdown():
+    dg = _FakeDCI("dg")
+    cluster = _FakeDCI("cluster")
+    plane = _plane_with_slowdowns([
+        ("dg", "SMALL", 1.1, 1.0), ("cluster", "SMALL", 3.0, 1.0),
+        ("dg", "BIG", 5.0, 1.0), ("cluster", "BIG", 1.2, 1.0)])
+    r = LearnedAffinityRouter(plane=plane)
+    targets = [dg, cluster]
+    assert r.route("SMALL", targets, 0.0) == 0
+    assert r.route("BIG", targets, 0.0) == 1
+    # category never archived: round-robin fallback cycles
+    assert [r.route("RANDOM", targets, 0.0) for _ in range(2)] == [0, 1]
+
+
+def test_learned_affinity_without_plane_is_round_robin():
+    targets = [_FakeDCI("a"), _FakeDCI("b")]
+    r = LearnedAffinityRouter(plane=None)
+    assert [r.route("SMALL", targets, 0.0) for _ in range(3)] == [0, 1, 0]
+
+
+# ---------------------------------------------------------------- factory
+def test_make_router_threads_plane_into_history_policies():
+    plane = HistoryPlane()
+    for policy in ROUTING_POLICIES:
+        router = make_router(policy, plane=plane)
+        assert router.name == policy
+    assert make_router("history_weighted", plane=plane).plane is plane
+    assert make_router("affinity_learned", plane=plane).plane is plane
+    # the named least_loaded policy keeps instantaneous probes even
+    # when a plane is offered (drift-pinned scenarios)
+    assert make_router("least_loaded", plane=plane).plane is None
+
+
+def test_new_policies_reject_empty_target_lists():
+    for policy in ("history_weighted", "affinity_learned"):
+        with pytest.raises(ValueError):
+            make_router(policy, plane=HistoryPlane()).route("SMALL", [], 0.0)
