@@ -1,0 +1,72 @@
+"""Economics sweep — credits vs slowdown under per-provider pricing.
+
+Besides the human-readable report this bench emits
+``benchmarks/results/BENCH_economics.json``, a machine-readable record
+of the run (wall time, simulations actually run vs store hits, credits
+spent per scenario) that CI uploads as an artifact — the seed of the
+perf trajectory across commits.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.campaign.store import current_store
+from repro.experiments import figures, run_campaign
+from repro.experiments.report import results_dir
+
+
+def test_economics(run_report, scale):
+    store = current_store()
+    hits0, misses0 = ((store.stats.hits, store.stats.misses)
+                      if store is not None else (0, 0))
+    wall0 = time.perf_counter()
+    run_report(figures.economics_report)
+    wall = time.perf_counter() - wall0
+
+    # the report warmed the store, so this costs zero new simulations
+    sweep = figures.economics_sweep(scale)
+    cfgs = sweep.expand()
+    results = run_campaign(cfgs)
+
+    payload = {
+        "bench": "economics",
+        "scale": scale.name,
+        "wall_seconds": round(wall, 3),
+        "sims_run": (store.stats.misses - misses0)
+        if store is not None else None,
+        "store_hits": (store.stats.hits - hits0)
+        if store is not None else None,
+        "scenarios": [
+            {
+                "label": cfg.label(),
+                "price_book": "heterogeneous" if cfg.pricing is not None
+                else "uniform",
+                "routing": cfg.routing,
+                "seed": cfg.seed,
+                "credits_spent": res.pool_spent,
+                "pool_used_pct": res.pool_used_pct,
+                "mean_slowdown": float(np.mean(res.slowdowns)),
+                "censored": res.censored_count,
+                "credits_by_provider": res.credits_by_provider(),
+            }
+            for cfg, res in zip(cfgs, results)
+        ],
+    }
+    path = os.path.join(results_dir(), "BENCH_economics.json")
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"\n[bench json saved to {path}]")
+
+    # the ISSUE acceptance criterion, answered from the warm store: on
+    # the reference heterogeneous federation cheapest_drain spends
+    # measurably fewer credits than least_loaded
+    spend = {}
+    for cfg, res in zip(cfgs, results):
+        if cfg.pricing is not None:
+            spend.setdefault(cfg.routing, []).append(res.pool_spent)
+    assert float(np.mean(spend["cheapest_drain"])) < \
+        float(np.mean(spend["least_loaded"]))

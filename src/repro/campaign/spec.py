@@ -260,7 +260,8 @@ class MultiTenantSweepSpec:
 class FederatedSweepSpec:
     """Cartesian grid of federated scenarios.
 
-    Axes: DCI count x routing policy x arbitration policy x seed.  Each
+    Axes: DCI count x routing policy x arbitration policy x price book
+    x seed.  Each
     scenario's DCI tuple is built by cycling the ``dci_*`` templates to
     the requested count, so a two-template spec swept over
     ``n_dcis=(1, 2, 4)`` grows the federation while keeping every
@@ -275,9 +276,16 @@ class FederatedSweepSpec:
     #: per-DCI node caps, cycled like the other templates (None entries
     #: mean automatic sizing)
     dci_max_nodes: Optional[Tuple[Optional[int], ...]] = None
+    #: per-DCI provider prices (credits/CPU·h), cycled like the other
+    #: templates (None entries defer to the scenario price book)
+    dci_prices: Optional[Tuple[Optional[float], ...]] = None
     n_dcis: Tuple[int, ...] = (2,)
     routings: Tuple[str, ...] = ("round_robin",)
     policies: Tuple[str, ...] = ("fairshare",)
+    #: price-book axis: each entry is None (the paper's uniform
+    #: economy) or (provider, credits/CPU·h) pairs — sweeping uniform
+    #: against heterogeneous books is the economics report's grid
+    pricings: Tuple[Optional[Tuple[Tuple[str, float], ...]], ...] = (None,)
     seeds: Tuple[int, ...] = (0,)
     n_tenants: int = 8
     categories: Tuple[str, ...] = ("SMALL",)
@@ -299,17 +307,22 @@ class FederatedSweepSpec:
 
     def __post_init__(self) -> None:
         for name in ("dci_traces", "dci_middlewares", "dci_providers",
-                     "dci_max_nodes", "n_dcis", "routings", "policies",
-                     "seeds", "categories"):
+                     "dci_max_nodes", "dci_prices", "n_dcis", "routings",
+                     "policies", "seeds", "categories"):
             object.__setattr__(self, name, _tuplify(getattr(self, name)))
         if self.affinity is not None:
             # deep-tuplify: inner [category, dci] lists would break the
             # hashability every spec promises
             object.__setattr__(self, "affinity",
                                tuple(tuple(pair) for pair in self.affinity))
+        # deep-tuplify the price-book axis the same way (entries are
+        # None or (provider, rate) pair collections)
+        object.__setattr__(self, "pricings", tuple(
+            None if book is None else tuple(tuple(pair) for pair in book)
+            for book in self.pricings))
         for name in ("dci_traces", "dci_middlewares", "dci_providers",
-                     "n_dcis", "routings", "policies", "seeds",
-                     "categories"):
+                     "n_dcis", "routings", "policies", "pricings",
+                     "seeds", "categories"):
             if not getattr(self, name):
                 raise ValueError(f"{name} must be non-empty")
         for n in self.n_dcis:
@@ -326,40 +339,47 @@ class FederatedSweepSpec:
                     middleware=cyc(self.dci_middlewares, i),
                     provider=cyc(self.dci_providers, i),
                     max_nodes=cyc(self.dci_max_nodes, i)
-                    if self.dci_max_nodes else None)
+                    if self.dci_max_nodes else None,
+                    price=cyc(self.dci_prices, i)
+                    if self.dci_prices else None)
             for i in range(n))
 
     def n_configs(self) -> int:
         return (len(self.routings) * len(self.policies)
-                * len(self.n_dcis) * len(self.seeds))
+                * len(self.pricings) * len(self.n_dcis)
+                * len(self.seeds))
 
     def expand(self) -> List[ScenarioConfig]:
         """The canonical scenario list (routings outermost, then
-        arbitration policies, then DCI counts, then seeds — the
-        aggregation order of the federation report)."""
+        arbitration policies, then price books, then DCI counts, then
+        seeds — the aggregation order of the federation and economics
+        reports)."""
         cfgs: List[ScenarioConfig] = []
         for routing in self.routings:
             for policy in self.policies:
-                for n in self.n_dcis:
-                    for seed in self.seeds:
-                        cfgs.append(ScenarioConfig(
-                            dcis=self.dci_specs(n), seed=seed,
-                            n_tenants=self.n_tenants,
-                            categories=self.categories,
-                            strategy=self.strategy,
-                            strategy_threshold=self.strategy_threshold,
-                            policy=policy, routing=routing,
-                            affinity=self.affinity,
-                            arrival_rate_per_hour=self
-                            .arrival_rate_per_hour,
-                            bot_size=self.bot_size,
-                            pool_fraction=self.pool_fraction,
-                            max_total_workers=self.max_total_workers,
-                            max_dci_workers=self.max_dci_workers,
-                            deadline_factor=self.deadline_factor,
-                            horizon_days=self.horizon_days,
-                            history=self.history,
-                            admission=self.admission))
+                for pricing in self.pricings:
+                    for n in self.n_dcis:
+                        for seed in self.seeds:
+                            cfgs.append(ScenarioConfig(
+                                dcis=self.dci_specs(n), seed=seed,
+                                n_tenants=self.n_tenants,
+                                categories=self.categories,
+                                strategy=self.strategy,
+                                strategy_threshold=self
+                                .strategy_threshold,
+                                policy=policy, routing=routing,
+                                affinity=self.affinity,
+                                arrival_rate_per_hour=self
+                                .arrival_rate_per_hour,
+                                bot_size=self.bot_size,
+                                pool_fraction=self.pool_fraction,
+                                max_total_workers=self.max_total_workers,
+                                max_dci_workers=self.max_dci_workers,
+                                deadline_factor=self.deadline_factor,
+                                horizon_days=self.horizon_days,
+                                history=self.history,
+                                admission=self.admission,
+                                pricing=pricing))
         return cfgs
 
 

@@ -66,8 +66,8 @@ CODE_VERSION = "campaign-v1"
 #: packages (under src/repro/) whose source defines simulation
 #: semantics — their bytes feed the digest salt
 _SEMANTIC_PACKAGES = ("simulator", "middleware", "core", "history",
-                      "workload", "infra", "cloud", "deployment",
-                      "analysis")
+                      "economics", "workload", "infra", "cloud",
+                      "deployment", "analysis")
 _SEMANTIC_FILES = (os.path.join("experiments", "config.py"),
                    os.path.join("experiments", "harness.py"),
                    os.path.join("experiments", "runner.py"))

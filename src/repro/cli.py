@@ -14,18 +14,25 @@ Nine subcommands cover the day-to-day uses of the reproduction:
   assigning arriving BoTs to DCIs, and one arbiter rationing the
   global worker budget and the shared pool across all bindings;
   ``--history persistent`` attaches the cross-run execution archive
-  (Oracle α calibration and history-fed routing learn across runs)
-  and ``--admission reject|defer`` gates pooled QoS orders on the
-  archive's predicted credit cost;
+  (Oracle α calibration and history-fed routing learn across runs),
+  ``--admission reject|defer`` gates pooled QoS orders on the
+  archive's predicted credit cost, and ``--pricing
+  PROVIDER=RATE,...`` attaches a per-provider price book (the
+  economics plane; pair with ``--routing cheapest_drain`` for
+  cost-aware routing);
 * ``report``  — regenerate any table/figure of the paper by name
   (``figure1`` .. ``figure7``, ``table1`` .. ``table5``,
   ``ablation_*``, ``contention``, ``federation``, plus ``learning``,
-  the warm-vs-cold prediction study over the history plane);
-  ``--jobs`` sizes the campaign process pool and ``--no-cache``
-  bypasses the result store;
+  the warm-vs-cold prediction study over the history plane, and
+  ``economics``, credits-vs-slowdown across price books on the
+  reference federation); ``--jobs`` sizes the campaign process pool
+  and ``--no-cache`` bypasses the result store;
 * ``sweep``   — run an ad-hoc declarative campaign grid straight from
   flags (comma-separated axes) through the sharded executor and the
   content-addressed store, with per-config rows and store stats;
+  ``--n-dcis``/``--routings`` switch to the *federated matrix* syntax
+  (``--n-dcis 1,2,4 --routings least_loaded,cheapest_drain``), which
+  expands a FederatedSweepSpec through the same executor;
 * ``store``   — inspect the content-addressed result store
   (``stats``: record counts, on-disk size and the in-process trace
   cache's LRU counters) or garbage-collect records orphaned by code
@@ -33,8 +40,10 @@ Nine subcommands cover the day-to-day uses of the reproduction:
   ``code_fingerprint()`` and reports reclaimed rows/bytes);
 * ``history`` — inspect the persistent execution-history archive
   (``stats``: per-environment record counts, throughput, slowdown,
-  cost per task and calibrated α) or drop its stale-salt records
-  (``gc``), mirroring the store commands;
+  cost per task — per provider where tagged — and calibrated α) or
+  drop its stale-salt records (``gc``), mirroring the store commands;
+  ``gc --max-per-env N`` / ``--max-age-days D`` additionally prune
+  the archive by per-environment record caps and age;
 * ``trace``   — synthesize a Table 2 trace and print its measured
   statistics, or export it to the FTA-style text format.
 """
@@ -52,7 +61,7 @@ __all__ = ["main", "build_parser"]
 _REPORTS = ("figure1", "figure2", "figure4", "figure5", "figure6",
             "figure7", "table1", "table2", "table3", "table4", "table5",
             "ablation_threshold", "ablation_budget", "ablation_middleware",
-            "contention", "federation", "learning")
+            "contention", "federation", "learning", "economics")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -114,8 +123,10 @@ def build_parser() -> argparse.ArgumentParser:
     fed.add_argument("--routing", default="round_robin",
                      choices=("round_robin", "least_loaded",
                               "history_weighted", "affinity",
-                              "affinity_learned"),
-                     help="BoT-to-DCI routing policy")
+                              "affinity_learned", "cheapest_drain"),
+                     help="BoT-to-DCI routing policy (cheapest_drain "
+                          "weighs expected drain time by the provider "
+                          "price)")
     fed.add_argument("--affinity", default=None,
                      help="category=dci pins for affinity routing, "
                           "comma-separated (e.g. SMALL=dci0-seti-boinc)")
@@ -140,6 +151,11 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=("reject", "defer"),
                      help="gate pooled QoS orders on the history "
                           "plane's predicted credit cost")
+    fed.add_argument("--pricing", default=None, metavar="PAIRS",
+                     help="per-provider price book, comma-separated "
+                          "PROVIDER=RATE pairs in credits/CPU-hour "
+                          "(e.g. stratuslab=6,ec2=18); omitted "
+                          "providers charge the uniform paper rate")
     fed.add_argument("--horizon-days", type=float, default=15.0)
 
     rep = sub.add_parser("report", help="regenerate a paper table/figure")
@@ -156,24 +172,58 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated middleware names")
     sweep.add_argument("--categories", default="SMALL",
                        help="comma-separated BoT categories")
-    sweep.add_argument("--strategies", default="none",
-                       help="comma-separated combos; 'none' = no SpeQuloS")
+    sweep.add_argument("--strategies", default=None,
+                       help="comma-separated combos; 'none' = no "
+                            "SpeQuloS (the default); the federated "
+                            "matrix takes a single QoS combo")
     sweep.add_argument("--seeds", default=None,
                        help="comma-separated explicit seeds "
                             "(default: stable per-environment slots)")
-    sweep.add_argument("--seed-slots", type=int, default=1,
-                       help="stable seed slots per environment")
-    sweep.add_argument("--seed-base", type=int, default=0,
-                       help="first stable-seed slot index")
-    sweep.add_argument("--thresholds", default="0.9",
-                       help="comma-separated trigger thresholds")
-    sweep.add_argument("--credit-fractions", default="0.10",
-                       help="comma-separated credit provisions")
+    sweep.add_argument("--seed-slots", type=int, default=None,
+                       help="stable seed slots per environment "
+                            "(default 1; single-BoT grids only)")
+    sweep.add_argument("--seed-base", type=int, default=None,
+                       help="first stable-seed slot index "
+                            "(default 0; single-BoT grids only)")
+    sweep.add_argument("--thresholds", default=None,
+                       help="comma-separated trigger thresholds "
+                            "(default 0.9; the federated matrix "
+                            "takes a single value)")
+    sweep.add_argument("--credit-fractions", default=None,
+                       help="comma-separated credit provisions "
+                            "(default 0.10; single-BoT grids only — "
+                            "federated pools use --pool-fraction)")
     sweep.add_argument("--bot-size", type=int, default=None,
                        help="task-count override for every category")
     sweep.add_argument("--horizon-days", type=float, default=15.0)
     sweep.add_argument("--save", action="store_true",
                        help="also write under benchmarks/results/")
+    # federated matrix syntax: any of these flags switches the grid to
+    # ScenarioConfig expansion through a FederatedSweepSpec (traces/
+    # middlewares/providers become per-DCI templates, cycled)
+    fed_grid = sweep.add_argument_group(
+        "federated matrix", "expand a federated grid instead of "
+        "single-BoT executions (activated by --n-dcis or --routings)")
+    fed_grid.add_argument("--n-dcis", default=None,
+                          help="comma-separated DCI counts "
+                               "(e.g. 1,2,4)")
+    fed_grid.add_argument("--routings", default=None,
+                          help="comma-separated routing policies "
+                               "(e.g. least_loaded,cheapest_drain)")
+    fed_grid.add_argument("--policies", default="fairshare",
+                          help="comma-separated arbitration policies")
+    fed_grid.add_argument("--providers", default="simulation",
+                          help="comma-separated cloud providers, "
+                               "cycled over DCIs")
+    fed_grid.add_argument("--pricing", default=None, metavar="PAIRS",
+                          help="price book as PROVIDER=RATE pairs "
+                               "(applies to every grid point)")
+    fed_grid.add_argument("--tenants", type=int, default=8,
+                          help="tenants per federated scenario")
+    fed_grid.add_argument("--pool-fraction", type=float, default=0.10,
+                          help="pooled credits / aggregate workload")
+    fed_grid.add_argument("--max-workers", type=int, default=None,
+                          help="global cap on concurrent cloud workers")
     _add_campaign_args(sweep)
 
     st = sub.add_parser(
@@ -196,6 +246,14 @@ def build_parser() -> argparse.ArgumentParser:
                       metavar="FRACTION",
                       help="completion fraction in (0, 1] for the "
                            "alpha column (default 0.5)")
+    hist.add_argument("--max-per-env", type=int, default=None,
+                      metavar="N",
+                      help="with gc: additionally keep only the "
+                           "newest N records per environment")
+    hist.add_argument("--max-age-days", type=float, default=None,
+                      metavar="D",
+                      help="with gc: additionally drop records "
+                           "archived more than D days ago")
 
     tr = sub.add_parser("trace", help="synthesize and inspect a trace")
     tr.add_argument("name", help="trace name (seti, nd, g5klyo, ...)")
@@ -222,6 +280,17 @@ def _add_campaign_args(p: argparse.ArgumentParser) -> None:
                         "or machine-sized)")
     p.add_argument("--no-cache", action="store_true",
                    help="bypass the content-addressed result store")
+
+
+def _parse_pricing_arg(text: Optional[str], command: str):
+    """Shared ``--pricing PROVIDER=RATE,...`` parsing for fed/sweep."""
+    if not text:
+        return None
+    from repro.economics.pricing import parse_pricing
+    try:
+        return parse_pricing(text)
+    except ValueError as exc:
+        raise SystemExit(f"repro {command}: --pricing: {exc}")
 
 
 def _apply_campaign_args(args) -> None:
@@ -331,6 +400,7 @@ def _cmd_fed(args) -> int:
                     f"CATEGORY=DCI (e.g. SMALL=dci0-seti-boinc)")
             pairs.append(tuple(pair.split("=", 1)))
         affinity = tuple(pairs)
+    pricing = _parse_pricing_arg(args.pricing, "fed")
     cfg = ScenarioConfig(
         dcis=dcis, seed=args.seed, n_tenants=args.tenants,
         categories=tuple(_axis(args.categories)),
@@ -340,7 +410,7 @@ def _cmd_fed(args) -> int:
         max_total_workers=args.max_workers,
         max_dci_workers=args.dci_workers,
         history=args.history, admission=args.admission,
-        horizon_days=args.horizon_days)
+        pricing=pricing, horizon_days=args.horizon_days)
     res = run_federated(cfg)
     print(f"{cfg.label()}:")
     for t in res.tenants:
@@ -351,11 +421,14 @@ def _cmd_fed(args) -> int:
               f"slowdown {t.slowdown:5.2f}x  "
               f"credits {t.credits_spent:7.1f}{adm}{cens}")
     for d in res.dcis:
+        rate = (f" @ {d.price_per_cpu_hour:g} cr/CPUh"
+                if cfg.price_map() else "")
         print(f"  DCI {d.name:<22} ({d.trace}/{d.middleware}/"
               f"{d.provider}): {d.tenants_assigned} tenants, "
               f"{d.completions} DG tasks, {d.cloud_tasks} cloud tasks, "
               f"peak {d.workers_peak} workers, "
-              f"{d.cloud_cpu_hours:.1f} cloud CPUh")
+              f"{d.cloud_cpu_hours:.1f} cloud CPUh, "
+              f"{d.credits_spent:.1f} credits{rate}")
     print(f"  pool: {res.pool_spent:.1f} of {res.pool_provisioned:.1f} "
           f"credits spent ({res.pool_used_pct:.1f} %)")
     print(f"  fairness: max/min slowdown {res.slowdown_spread:.2f}, "
@@ -414,10 +487,26 @@ def _cmd_history(args) -> int:
                   f"{summary.mean_slowdown:>7.2f} "
                   f"{summary.availability:>6.2f} "
                   f"{summary.cost_per_task:>10.3f} {alpha:>6.2f}")
+        provider_costs = plane.provider_costs()
+        if provider_costs:
+            print("  per-provider learned cost (economics plane):")
+            for provider, (n, cost) in provider_costs.items():
+                print(f"    {provider:<20} {n:>5d} recs  "
+                      f"{cost:>10.3f} credits/task")
         return 0
     rows, nbytes = store.gc()
     print(f"history gc: reclaimed {rows} stale rows "
           f"({nbytes} grid bytes) — {store.path}")
+    if args.max_per_env is not None or args.max_age_days is not None:
+        pruned, pbytes = store.prune(max_per_env=args.max_per_env,
+                                     max_age_days=args.max_age_days)
+        policy = ", ".join(
+            ([f"max {args.max_per_env}/env"]
+             if args.max_per_env is not None else [])
+            + ([f"max age {args.max_age_days:g}d"]
+               if args.max_age_days is not None else []))
+        print(f"history prune ({policy}): reclaimed {pruned} rows "
+              f"({pbytes} grid bytes)")
     print(f"  {len(store)} records remain, "
           f"{store.file_bytes()} bytes on disk")
     return 0
@@ -468,16 +557,20 @@ def _cmd_sweep(args) -> int:
     def _axis(text, conv=str):
         return tuple(conv(v.strip()) for v in text.split(",") if v.strip())
 
+    if args.n_dcis or args.routings:
+        return _cmd_sweep_federated(args, _axis)
+
     strategies = tuple(None if s.lower() in ("none", "-") else s
-                       for s in _axis(args.strategies))
+                       for s in _axis(args.strategies or "none"))
     categories = _axis(args.categories)
     spec = SweepSpec(
         traces=_axis(args.traces), middlewares=_axis(args.middlewares),
         categories=categories, strategies=strategies,
         seeds=_axis(args.seeds, int) if args.seeds else None,
-        seed_slots=args.seed_slots, seed_base=args.seed_base,
-        thresholds=_axis(args.thresholds, float),
-        credit_fractions=_axis(args.credit_fractions, float),
+        seed_slots=args.seed_slots if args.seed_slots is not None else 1,
+        seed_base=args.seed_base if args.seed_base is not None else 0,
+        thresholds=_axis(args.thresholds or "0.9", float),
+        credit_fractions=_axis(args.credit_fractions or "0.10", float),
         bot_sizes=tuple((c, args.bot_size) for c in categories)
         if args.bot_size is not None else None,
         horizon_days=args.horizon_days)
@@ -503,6 +596,92 @@ def _cmd_sweep(args) -> int:
     print(rep.render())
     if args.save:
         print(f"saved to {rep.save('sweep.txt')}")
+    _print_store_stats()
+    return 0
+
+
+def _cmd_sweep_federated(args, _axis) -> int:
+    """The federated matrix syntax of ``repro sweep``: ``--n-dcis
+    1,2,4 --routings least_loaded,cheapest_drain`` expands a
+    :class:`~repro.campaign.spec.FederatedSweepSpec` through the same
+    executor/store path as the single-BoT grid."""
+    import sys as _sys
+    import time as _time
+
+    import numpy as np
+
+    from repro.campaign.progress import ProgressReporter
+    from repro.campaign.spec import FederatedSweepSpec
+    from repro.experiments.report import ExperimentReport, TextTable
+    from repro.experiments.runner import run_campaign
+
+    # reject single-BoT-only axes loudly instead of silently running a
+    # different experiment than the flags asked for
+    if args.credit_fractions is not None:
+        raise SystemExit("repro sweep: --credit-fractions does not "
+                         "apply to the federated matrix (pooled "
+                         "scenarios provision via --pool-fraction)")
+    if args.seed_slots is not None or args.seed_base is not None:
+        raise SystemExit("repro sweep: --seed-slots/--seed-base do "
+                         "not apply to the federated matrix; pass "
+                         "explicit --seeds")
+    spec_defaults = FederatedSweepSpec.__dataclass_fields__
+    strategy = spec_defaults["strategy"].default
+    if args.strategies is not None:
+        strategies = _axis(args.strategies)
+        if len(strategies) != 1 or strategies[0].lower() in ("none", "-"):
+            raise SystemExit("repro sweep: the federated matrix takes "
+                             "a single QoS combo via --strategies "
+                             "(federated scenarios are QoS-supported "
+                             "by construction)")
+        (strategy,) = strategies
+    threshold = spec_defaults["strategy_threshold"].default
+    if args.thresholds is not None:
+        thresholds = _axis(args.thresholds, float)
+        if len(thresholds) != 1:
+            raise SystemExit("repro sweep: the federated matrix takes "
+                             "a single --thresholds value")
+        (threshold,) = thresholds
+    spec = FederatedSweepSpec(
+        dci_traces=_axis(args.traces),
+        dci_middlewares=_axis(args.middlewares),
+        dci_providers=_axis(args.providers),
+        n_dcis=_axis(args.n_dcis, int) if args.n_dcis else (2,),
+        routings=_axis(args.routings) if args.routings
+        else ("round_robin",),
+        policies=_axis(args.policies),
+        pricings=(_parse_pricing_arg(args.pricing, "sweep"),),
+        seeds=_axis(args.seeds, int) if args.seeds else (0,),
+        n_tenants=args.tenants, categories=_axis(args.categories),
+        strategy=strategy, strategy_threshold=threshold,
+        bot_size=args.bot_size, pool_fraction=args.pool_fraction,
+        max_total_workers=args.max_workers,
+        horizon_days=args.horizon_days)
+    configs = spec.expand()
+    wall0 = _time.perf_counter()
+    results = run_campaign(
+        configs, progress=ProgressReporter(len(configs), label="fed sweep",
+                                           stream=_sys.stderr))
+    wall = _time.perf_counter() - wall0
+
+    rep = ExperimentReport(
+        "Federated sweep", f"ad-hoc federated matrix, {len(configs)} "
+                           f"scenarios in {wall:.1f}s")
+    table = TextTable(
+        "Per-scenario outcomes",
+        ["scenario", "mean slowdown", "max/min spread", "pool spent",
+         "pool %", "censored"])
+    for cfg, res in zip(configs, results):
+        table.add_row(cfg.label(),
+                      f"{float(np.mean(res.slowdowns)):.2f}",
+                      f"{res.slowdown_spread:.2f}",
+                      f"{res.pool_spent:.1f}",
+                      f"{res.pool_used_pct:.1f}",
+                      str(res.censored_count))
+    rep.tables.append(table)
+    print(rep.render())
+    if args.save:
+        print(f"saved to {rep.save('fed_sweep.txt')}")
     _print_store_stats()
     return 0
 

@@ -113,13 +113,19 @@ class AdmissionController:
 
     # ------------------------------------------------------------------
     def evaluate(self, bot_id: str, env_key: str, n_tasks: int,
-                 pool, credits=None) -> AdmissionDecision:
+                 pool, credits=None,
+                 provider: Optional[str] = None) -> AdmissionDecision:
         """Decide one claim against a :class:`~repro.core.credit.
         CreditPool`; a granted claim's predicted cost is committed.
         Pass the scenario's :class:`~repro.core.credit.CreditSystem`
-        so in-flight claims only reserve their unspent forecast."""
+        so in-flight claims only reserve their unspent forecast.
+        ``provider`` names the cloud that would supplement the BoT, so
+        the forecast reads the plane's *per-cloud* learned cost (a
+        heterogeneous price book makes the same DCI cheaper or dearer
+        depending on who backs it)."""
         available = max(0.0, pool.remaining - self.committed(credits))
-        cost = self.plane.predicted_cost(env_key, n_tasks)
+        cost = self.plane.predicted_cost(env_key, n_tasks,
+                                         provider=provider)
         if cost is None or self.safety * cost <= available:
             verdict = GRANTED
             if cost is not None:

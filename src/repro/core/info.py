@@ -173,9 +173,16 @@ class InformationModule:
 
     # ---------------------------------------------------------- archive
     def archive_execution(self, env_key: str, mon: BoTMonitor,
-                          credits_spent: float = 0.0) -> None:
-        """Store a finished execution's profile for future predictions."""
-        self.plane.archive(env_key, mon, credits_spent=credits_spent)
+                          credits_spent: float = 0.0,
+                          provider: str = "") -> None:
+        """Store a finished execution's profile for future predictions.
+
+        ``provider`` tags the record with the cloud that supplemented
+        the execution (the history plane's provider dimension: learned
+        credit costs become per-cloud).
+        """
+        self.plane.archive(env_key, mon, credits_spent=credits_spent,
+                           provider=provider)
 
     def history(self, env_key: str) -> List[ExecutionRecord]:
         return self.plane.fetch(env_key)

@@ -41,7 +41,17 @@ Five policies:
   category→DCI pins are *fitted from the archive*, each category
   pinned to the candidate DCI with the lowest archived mean tail
   slowdown for that category.  Categories the plane has never seen
-  fall back to round robin.
+  fall back to round robin;
+* ``cheapest_drain`` — cost-aware routing over the economics plane:
+  score = ``(1 + drain_seconds) × rate`` where the rate is the
+  credits/CPU·h the DCI's cloud provider quotes in the scenario's
+  :class:`~repro.economics.pricing.PriceBook`.  Warm (archived
+  throughput on every live candidate) the drain estimate is the
+  plane's, exactly as ``history_weighted``; cold it *degrades to
+  least_loaded's instantaneous load ratio* as the drain proxy — still
+  price-weighted, so a cheap provider is preferred from the first
+  arrival and a uniform book reproduces ``least_loaded``'s decisions
+  exactly (a constant factor preserves the argmin and its ties).
 
 Routers are tiny stateful objects (the round-robin cursor); one router
 instance serves one scenario.  They rank *targets*: any object with a
@@ -60,10 +70,10 @@ from typing import Dict, List, Optional, Sequence
 
 __all__ = ["ROUTING_POLICIES", "Router", "RoundRobinRouter",
            "LeastLoadedRouter", "HistoryWeightedRouter", "AffinityRouter",
-           "LearnedAffinityRouter", "make_router"]
+           "LearnedAffinityRouter", "CheapestDrainRouter", "make_router"]
 
 ROUTING_POLICIES = ("round_robin", "least_loaded", "history_weighted",
-                    "affinity", "affinity_learned")
+                    "affinity", "affinity_learned", "cheapest_drain")
 
 
 class Router:
@@ -263,14 +273,61 @@ class LearnedAffinityRouter(Router):
         return self._fallback.route(category, targets, now)
 
 
+class CheapestDrainRouter(Router):
+    """Cost-aware routing: expected drain time × provider price.
+
+    Score of a DCI = ``(1 + drain) × rate``, with ``rate`` the
+    credits/CPU·h its cloud provider quotes in the scenario's
+    :class:`~repro.economics.pricing.PriceBook` and ``drain`` the
+    plane's throughput-based estimate when every live candidate has
+    history, else ``least_loaded``'s instantaneous load ratio (the
+    cold degradation — see the module docstring).  A dead DCI (zero
+    live workers) is never preferred whatever its price.  Targets
+    without a ``driver`` (or an unpriced provider) are charged the
+    book's default rate.
+    """
+
+    name = "cheapest_drain"
+
+    def __init__(self, plane=None, pricebook=None):
+        self.plane = plane
+        if pricebook is None:
+            from repro.economics.pricing import PriceBook
+            pricebook = PriceBook()
+        self.book = pricebook
+
+    def _rate_of(self, target, now: float) -> float:
+        driver = getattr(target, "driver", None)
+        provider = getattr(driver, "name", None)
+        if provider is None:
+            return self.book.default
+        return self.book.rate(provider, now)
+
+    def route(self, category: str, targets: Sequence, now: float) -> int:
+        if not targets:
+            raise ValueError("no DCIs to route to")
+        drains = _drain_loads(targets, self.plane, now)
+        if drains is None:
+            drains = [LeastLoadedRouter.load_of(t, now) for t in targets]
+        scores = []
+        for target, drain in zip(targets, drains):
+            if math.isinf(drain):      # dead DCI: never preferred
+                scores.append(math.inf)
+                continue
+            scores.append((1.0 + drain) * self._rate_of(target, now))
+        return int(min(range(len(targets)), key=scores.__getitem__))
+
+
 def make_router(policy: str,
                 affinity: Optional[Dict[str, str]] = None,
-                plane=None) -> Router:
+                plane=None, pricebook=None) -> Router:
     """Instantiate a routing policy by name.
 
     ``plane`` (a :class:`~repro.history.plane.HistoryPlane`) feeds the
-    history-driven policies; policies that ignore it accept it anyway
-    so callers can thread the scenario's plane unconditionally.
+    history-driven policies and ``pricebook`` (a
+    :class:`~repro.economics.pricing.PriceBook`) the cost-aware one;
+    policies that ignore them accept them anyway so callers can thread
+    the scenario's plane and book unconditionally.
     """
     if policy == "round_robin":
         return RoundRobinRouter()
@@ -286,5 +343,7 @@ def make_router(policy: str,
         return AffinityRouter(affinity)
     if policy == "affinity_learned":
         return LearnedAffinityRouter(plane=plane)
+    if policy == "cheapest_drain":
+        return CheapestDrainRouter(plane=plane, pricebook=pricebook)
     raise ValueError(f"unknown routing policy {policy!r}; available: "
                      f"{', '.join(ROUTING_POLICIES)}")

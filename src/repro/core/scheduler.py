@@ -11,7 +11,12 @@ run out.
 Billing model: Cloud worker *usage* is billed — the CPU time actually
 spent computing units (§3.3 prices "1 CPU.hour of Cloud worker usage"
 at 15 credits) — measured exactly through the middleware's busy
-accounting and charged each tick.  Workers persist until the BoT
+accounting and charged each tick.  Pricing is owned by the economics
+plane: the Scheduler charges usage through a
+:class:`~repro.economics.billing.BillingMeter` reading per-provider
+rates from the scenario's :class:`~repro.economics.pricing.PriceBook`
+(default: a uniform book at ``config.credits_per_cpu_hour``, which is
+float-for-float the historical inline formula).  Workers persist until the BoT
 completes or the escrowed credits run out ("If all the credits
 allocated to the BoT have been spent, or if the BoT execution is
 completed, Cloud workers are stopped"); an optional ``idle_grace``
@@ -59,6 +64,8 @@ from repro.cloud.worker import (
 )
 from repro.core.credit import CREDITS_PER_CPU_HOUR, CreditSystem
 from repro.core.info import BoTMonitor, InformationModule
+from repro.economics.billing import BillingMeter
+from repro.economics.pricing import PriceBook
 from repro.core.oracle import Oracle
 from repro.core.strategies import (
     DEPLOY_CLOUD_DUP,
@@ -190,12 +197,16 @@ class CloudArbiter:
                       else r.deadline)
         return runs
 
-    def credit_budget(self, run: QoSRun, credits: CreditSystem) -> float:
+    def credit_budget(self, run: QoSRun, credits) -> float:
         """Spendable credits a launch may size against.
 
-        FIFO/deadline runs see the full remaining escrow (first-come /
-        most-urgent takes all); fair-share runs see their rebalanced
-        allowance slice (see :meth:`rebalance`).
+        ``credits`` is the scheduler's
+        :class:`~repro.economics.billing.BillingMeter` (a bare
+        :class:`~repro.core.credit.CreditSystem` also works — only the
+        pool-aware ``remaining_for`` view is read).  FIFO/deadline
+        runs see the full remaining escrow (first-come / most-urgent
+        takes all); fair-share runs see their rebalanced allowance
+        slice (see :meth:`rebalance`).
         """
         return credits.remaining_for(run.bot_id)
 
@@ -275,11 +286,19 @@ class SpeQuloSScheduler:
                  credits: CreditSystem,
                  config: Optional[SchedulerConfig] = None,
                  on_run_finished: Optional[Callable[[QoSRun], None]] = None,
-                 arbiter: Optional[CloudArbiter] = None):
+                 arbiter: Optional[CloudArbiter] = None,
+                 pricebook: Optional[PriceBook] = None):
         self.sim = sim
         self.info = info
         self.credits = credits
         self.config = config or SchedulerConfig()
+        #: the economics plane's accounting source: every credit the
+        #: scheduler bills flows through here, priced per provider
+        #: (uniform at config.credits_per_cpu_hour unless the scenario
+        #: attaches a price book)
+        self.meter = BillingMeter(
+            credits, pricebook if pricebook is not None
+            else PriceBook.uniform(self.config.credits_per_cpu_hour))
         self.runs: Dict[str, QoSRun] = {}
         self._tick_ev: Optional[Event] = None
         self._on_run_finished = on_run_finished
@@ -342,13 +361,14 @@ class SpeQuloSScheduler:
         order = self.credits.get_order(run.bot_id)
         assert order is not None
         if self.arbiter is not None:
-            budget = self.arbiter.credit_budget(run, self.credits)
+            budget = self.arbiter.credit_budget(run, self.meter)
         else:
             # pool-aware: a pooled order's own remaining is always 0
-            budget = self.credits.remaining_for(run.bot_id)
+            budget = self.meter.remaining_for(run.bot_id)
         n = run.oracle.cloud_workers_to_start(
             run.monitor, budget,
-            self.config.credits_per_cpu_hour, self.sim.now)
+            self.meter.rate_for(run.driver.name, self.sim.now),
+            self.sim.now)
         n = min(n, self.config.max_workers)
         if self.arbiter is not None:
             n = self.arbiter.worker_grant(run, n, self)
@@ -398,15 +418,19 @@ class SpeQuloSScheduler:
         return run.server.cloud_busy_seconds(handle.node)
 
     def _bill_handle(self, run: QoSRun, handle: CloudWorkerHandle) -> bool:
-        """Bill usage since the last tick; False when credits ran dry."""
+        """Bill usage since the last tick; False when credits ran dry.
+
+        Priced through the meter at the run's provider rate — the
+        single per-provider accounting source of the economics plane.
+        """
         total = self._busy_seconds(run, handle)
         delta = total - handle.billed_busy
         if delta <= 0:
             return True
-        amount = self.config.credits_per_cpu_hour * delta / 3600.0
-        billed = self.credits.bill(run.bot_id, amount)
+        billed, asked = self.meter.charge(run.bot_id, run.driver.name,
+                                          delta, self.sim.now)
         handle.billed_busy = total
-        return billed >= amount - 1e-9
+        return billed >= asked - 1e-9
 
     def _bill_and_manage(self, run: QoSRun) -> None:
         """Algorithm 2: bill, release idle workers, stop on exhaustion."""

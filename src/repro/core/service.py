@@ -61,13 +61,15 @@ class SpeQuloS:
                  info: Optional[InformationModule] = None,
                  credits: Optional[CreditSystem] = None,
                  scheduler_config: Optional[SchedulerConfig] = None,
-                 arbiter: Optional[CloudArbiter] = None):
+                 arbiter: Optional[CloudArbiter] = None,
+                 pricebook=None):
         self.sim = sim
         self.info = info or InformationModule()
         self.credits = credits or CreditSystem()
         self.scheduler = SpeQuloSScheduler(
             sim, self.info, self.credits, scheduler_config,
-            on_run_finished=self._archive_run, arbiter=arbiter)
+            on_run_finished=self._archive_run, arbiter=arbiter,
+            pricebook=pricebook)
         self.dcis: Dict[str, DCIBinding] = {}
         self._bot_dci: Dict[str, str] = {}
         self._bot_env: Dict[str, str] = {}
@@ -150,6 +152,12 @@ class SpeQuloS:
         expected to identify trace + middleware)."""
         return env_key_of(dci, category)
 
+    @property
+    def meter(self):
+        """The scheduler's :class:`~repro.economics.billing.
+        BillingMeter` — the per-provider credit accounting source."""
+        return self.scheduler.meter
+
     def _archive_run(self, run: QoSRun) -> None:
         env = self._bot_env.get(run.bot_id)
         if env is None:
@@ -157,9 +165,13 @@ class SpeQuloS:
         mon = self.info.monitor(run.bot_id)
         if mon.done:
             order = self.credits.get_order(run.bot_id)
+            dci = self._bot_dci.get(run.bot_id)
+            provider = (self.dcis[dci].driver.name
+                        if dci in self.dcis else "")
             self.info.archive_execution(
                 env, mon,
-                credits_spent=order.spent if order is not None else 0.0)
+                credits_spent=order.spent if order is not None else 0.0,
+                provider=provider)
 
     def monitor(self, bot_id: str) -> BoTMonitor:
         return self.info.monitor(bot_id)

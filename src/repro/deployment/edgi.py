@@ -48,8 +48,8 @@ from repro.infra.pool import NodePool
 from repro.middleware.xwhep import XWHepServer
 from repro.workload.generator import make_bot
 
-__all__ = ["EDGIConfig", "EDGIDeployment", "EDGI_DCIS", "edgi_scenario",
-           "run_edgi"]
+__all__ = ["EDGIConfig", "EDGIDeployment", "EDGI_DCIS", "EDGI_PRICING",
+           "edgi_scenario", "run_edgi"]
 
 #: Figure 8's two DCIs in declarative form (federated scenario preset):
 #: XW@LAL = nd-like desktop grid + StratusLab, XW@LRI = Grid'5000
@@ -60,6 +60,13 @@ EDGI_DCIS = (
     DCISpec(trace="g5klyo", middleware="xwhep", provider="ec2",
             name="XW@LRI", max_nodes=200),
 )
+
+#: The reference *heterogeneous* price book over that federation: the
+#: on-site StratusLab charges a third of the commercial EC2 rate
+#: (credits/CPU·h) — the cost asymmetry the economics report's
+#: ``cheapest_drain`` routing exploits.  Deployments keep the paper's
+#: uniform 15 unless a scenario opts in (``pricing=EDGI_PRICING``).
+EDGI_PRICING = (("stratuslab", 6.0), ("ec2", 18.0))
 
 
 def edgi_scenario(seed: int = 5, n_tenants: int = 8,

@@ -1,0 +1,173 @@
+"""Deposit policies as scheduled economics objects.
+
+§3.3's administrator deposit function ("a simple policy that limits
+SpeQuloS usage of a Cloud to 200 nodes per day") existed only as the
+one-off :class:`~repro.core.credit.CappedDailyDeposit` that callers had
+to remember to apply.  Here deposit policies become first-class
+scheduled objects: a :class:`DepositSchedule` owned by the scenario
+harness ticks each policy over *virtual* time, so pools refill and
+rations reset while the simulation runs — no manual bookkeeping.
+
+Three policies cover the ROADMAP's "deposit policies feeding pools over
+time" item:
+
+* :class:`AccountTopUp` — the paper's capped daily deposit, scheduled:
+  every ``period`` the user account is topped back up to ``cap``;
+* :class:`PoolTopUp` — feed a *shared* :class:`~repro.core.credit.
+  CreditPool` from a funding account in periodic installments
+  (optionally bounded by ``max_total``), so a pool provisions over
+  time instead of all at once;
+* :class:`AllowanceRation` — per-tenant rationing: every period each
+  open pooled order's spend cap resets to ``spent + per_member``, a
+  time-sliced allowance that complements the arbiter's per-tick
+  fair-share rebalancing with an administrator-set rate.
+
+Every policy implements ``apply(credits, now) -> float`` (the amount
+moved) and exposes ``period``; anything with that shape can join a
+schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+__all__ = ["AccountTopUp", "AllowanceRation", "DepositSchedule",
+           "PoolTopUp"]
+
+
+@dataclass
+class AccountTopUp:
+    """Top a user account back up to ``cap`` every ``period`` seconds."""
+
+    user: str
+    cap: float = 6000.0
+    period: float = 86400.0
+    #: cumulative credits this policy deposited
+    deposited: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cap <= 0:
+            raise ValueError("cap must be positive")
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+
+    def apply(self, credits, now: float) -> float:
+        topup = max(0.0, self.cap - credits.balance(self.user))
+        if topup:
+            credits.deposit(self.user, topup)
+            self.deposited += topup
+        return topup
+
+
+@dataclass
+class PoolTopUp:
+    """Feed a shared pool from a funding account in installments.
+
+    Each application moves up to ``amount`` credits from ``user`` into
+    the pool's provision (never more than the account holds, never past
+    ``max_total`` cumulative); a closed or missing pool is a no-op, so
+    the schedule outliving the scenario is harmless.
+    """
+
+    pool_id: str
+    user: str
+    amount: float
+    period: float = 86400.0
+    #: cumulative cap on what this policy may feed (None = unbounded)
+    max_total: Optional[float] = None
+    deposited: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.amount <= 0:
+            raise ValueError("amount must be positive")
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+        if self.max_total is not None and self.max_total <= 0:
+            raise ValueError("max_total must be positive or None")
+
+    def apply(self, credits, now: float) -> float:
+        pool = credits.get_pool(self.pool_id)
+        if pool is None or pool.closed:
+            return 0.0
+        amount = self.amount
+        if self.max_total is not None:
+            amount = min(amount, max(0.0, self.max_total - self.deposited))
+        amount = min(amount, credits.balance(self.user))
+        if amount <= 0:
+            return 0.0
+        credits.fund_pool(self.pool_id, self.user, amount)
+        self.deposited += amount
+        return amount
+
+
+@dataclass
+class AllowanceRation:
+    """Reset every open pooled order's allowance to ``spent +
+    per_member`` each period — an administrator-rate ration on top of
+    (or instead of) the arbiter's fair-share rebalancing."""
+
+    pool_id: str
+    per_member: float
+    period: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.per_member <= 0:
+            raise ValueError("per_member must be positive")
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+
+    def apply(self, credits, now: float) -> float:
+        pool = credits.get_pool(self.pool_id)
+        if pool is None or pool.closed:
+            return 0.0
+        rationed = 0.0
+        for member in pool.members:
+            order = credits.get_order(member)
+            if order is None or order.closed:
+                continue
+            credits.set_allowance(member, order.spent + self.per_member)
+            rationed += self.per_member
+        return rationed
+
+
+class DepositSchedule:
+    """Ticks deposit policies over virtual time.
+
+    The harness owns one per scenario (:meth:`~repro.experiments.
+    harness.ScenarioHarness.schedule_deposits`); each policy fires
+    every ``policy.period`` seconds of simulation time, starting one
+    period in (the opening provision is the scenario's to make).
+    ``applied`` logs ``(now, policy_class, amount)`` for reports.
+    """
+
+    def __init__(self, sim, credits, policies=()):
+        self.sim = sim
+        self.credits = credits
+        self.policies = list(policies)
+        self.applied: List[Tuple[float, str, float]] = []
+        self._started = False
+
+    def add(self, policy) -> None:
+        self.policies.append(policy)
+        if self._started:
+            self._schedule(policy)
+
+    def start(self) -> "DepositSchedule":
+        if self._started:
+            return self
+        self._started = True
+        for policy in self.policies:
+            self._schedule(policy)
+        return self
+
+    def _schedule(self, policy) -> None:
+        self.sim.schedule(policy.period, self._tick, policy)
+
+    def _tick(self, policy) -> None:
+        amount = policy.apply(self.credits, self.sim.now)
+        self.applied.append((self.sim.now, type(policy).__name__, amount))
+        self._schedule(policy)
+
+    def total_applied(self) -> float:
+        return sum(amount for _t, _name, amount in self.applied)

@@ -245,7 +245,10 @@ class DCISpec:
     bounds the materialized trace realization, ``worker_cap`` bounds
     the concurrently active cloud workers the arbiter may grant runs
     bound to this DCI (overriding the scenario-wide
-    ``max_dci_workers``).
+    ``max_dci_workers``).  ``price`` quotes this DCI's provider in
+    credits per CPU·hour, overriding the scenario price book for that
+    provider (None: the book's — ultimately the paper's uniform —
+    rate).
     """
 
     trace: str
@@ -255,6 +258,8 @@ class DCISpec:
     name: Optional[str] = None
     max_nodes: Optional[int] = None
     worker_cap: Optional[int] = None
+    #: credits/CPU·h of this DCI's provider (economics plane override)
+    price: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.trace not in TRACE_NAMES:
@@ -267,6 +272,8 @@ class DCISpec:
             raise ValueError("max_nodes must be >= 1 or None")
         if self.worker_cap is not None and self.worker_cap < 1:
             raise ValueError("worker_cap must be >= 1 or None")
+        if self.price is not None and self.price <= 0:
+            raise ValueError("price must be positive or None")
 
     def resolved_name(self, index: int) -> str:
         return self.name or f"dci{index}-{self.trace}-{self.middleware}"
@@ -330,6 +337,12 @@ class ScenarioConfig:
     #: exceeds the pool's uncommitted remainder (the BoT still runs
     #: best-effort), "defer" = retry such orders periodically
     admission: Optional[str] = None
+    #: scenario price book as hashable (provider, credits/CPU·h)
+    #: pairs; providers absent from the pairs (and None, the default)
+    #: quote the paper's uniform rate — default scenarios stay
+    #: bit-identical to the fixed-exchange-rate economy.  Per-DCI
+    #: ``DCISpec.price`` entries override their provider's pair.
+    pricing: Optional[Tuple[Tuple[str, float], ...]] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "dcis", tuple(self.dcis))
@@ -382,6 +395,27 @@ class ScenarioConfig:
             raise ValueError(
                 f"unknown admission mode {self.admission!r}; "
                 f"available: {', '.join(ADMISSION_MODES)}")
+        if self.pricing is not None:
+            object.__setattr__(self, "pricing",
+                               tuple((p, float(r)) for p, r in self.pricing))
+            for provider, rate in self.pricing:
+                if provider.lower() not in PROVIDER_NAMES:
+                    raise ValueError(f"unknown cloud provider "
+                                     f"{provider!r} in pricing")
+                if rate <= 0:
+                    raise ValueError(f"pricing rate for {provider!r} "
+                                     f"must be positive")
+        seen_prices: dict = {}
+        for spec in self.dcis:
+            if spec.price is None:
+                continue
+            key = spec.provider.lower()
+            if key in seen_prices and seen_prices[key] != spec.price:
+                raise ValueError(
+                    f"conflicting DCISpec prices for provider {key!r}: "
+                    f"{seen_prices[key]} vs {spec.price} (pricing is "
+                    f"per provider)")
+            seen_prices[key] = spec.price
 
     # ------------------------------------------------------------------
     def with_routing(self, routing: str) -> "ScenarioConfig":
@@ -395,6 +429,22 @@ class ScenarioConfig:
     def with_admission(self, admission: Optional[str]) -> "ScenarioConfig":
         """The paired scenario under a different admission mode."""
         return replace(self, admission=admission)
+
+    def with_pricing(self, pricing) -> "ScenarioConfig":
+        """The paired scenario under a different price book."""
+        return replace(self, pricing=tuple(pricing)
+                       if pricing is not None else None)
+
+    def price_map(self) -> dict:
+        """Effective per-provider rates (lower-cased provider →
+        credits/CPU·h): scenario ``pricing`` pairs first, per-DCI
+        ``DCISpec.price`` overrides on top.  Empty = uniform paper
+        economy."""
+        rates = {p.lower(): r for p, r in self.pricing or ()}
+        for spec in self.dcis:
+            if spec.price is not None:
+                rates[spec.provider.lower()] = spec.price
+        return rates
 
     @property
     def horizon(self) -> float:
@@ -430,8 +480,11 @@ class ScenarioConfig:
 
     def label(self) -> str:
         cats = "+".join(c.upper() for c in self.categories)
+        # priced scenarios are labelled so store rows and report
+        # tables distinguish them from the uniform-economy pair
+        priced = "/priced" if self.price_map() else ""
         return (f"fed{len(self.dcis)}/{self.routing}/{self.policy}"
-                f"/{cats}/x{self.n_tenants}/s{self.seed}")
+                f"/{cats}/x{self.n_tenants}{priced}/s{self.seed}")
 
 
 @dataclass(frozen=True)

@@ -20,7 +20,11 @@ Campaign grids (scaled by :class:`~repro.experiments.config.CampaignScale`):
 * **federation sweep** (§5's Figure 8 regime): one SpeQuloS over
   growing heterogeneous federations of DCIs and clouds, under each
   BoT-to-DCI routing policy, reporting cross-DCI fairness and pool
-  usage.
+  usage;
+* **economics sweep** (the economics plane): uniform vs heterogeneous
+  per-provider price books on the reference federation, under blind
+  load balancing vs cost-aware ``cheapest_drain`` routing, reporting
+  credits spent, the per-cloud spend split and slowdown.
 """
 
 from __future__ import annotations
@@ -62,8 +66,8 @@ __all__ = [
     "figure7_report", "table4_report", "table5_report",
     "ablation_threshold_report", "ablation_budget_report",
     "ablation_middleware_report", "contention_report",
-    "federation_report", "federation_sweep", "learning_report",
-    "learning_rates",
+    "federation_report", "federation_sweep", "economics_report",
+    "economics_sweep", "learning_report", "learning_rates",
 ]
 
 MIDDLEWARE = ("boinc", "xwhep")
@@ -787,6 +791,134 @@ def federation_report(scale: Optional[CampaignScale] = None
                      f"strategy {sweep.strategy}; pool "
                      f"{sweep.pool_fraction:.0%} of aggregate workload; "
                      f"global budget {sweep.max_total_workers} workers")
+    return rep
+
+
+# ---------------------------------------------------------------------------
+# Economics report — credits vs slowdown under per-provider pricing
+# ---------------------------------------------------------------------------
+ECONOMICS_ROUTINGS = ("least_loaded", "cheapest_drain")
+
+
+def economics_sweep(scale: CampaignScale) -> FederatedSweepSpec:
+    """The economics report's grid: routing x price book x seed over
+    the reference heterogeneous federation.
+
+    The two DCIs carry the EDGI preset's provider mapping (nd/xwhep
+    backed by the on-site StratusLab, g5klyo/xwhep backed by EC2) over
+    *capacity-equalized* realizations — 150 nodes each, so blind load
+    balancing has no capacity excuse and the provider price is the only
+    systematic differentiator.  The price-book axis pairs the paper's
+    uniform economy against :data:`~repro.deployment.edgi.EDGI_PRICING`
+    (StratusLab at a third of the EC2 rate).  Routing quality shows
+    directly in credits spent: ``cheapest_drain`` steers BoTs (and
+    their cloud supplements) toward the cheap provider,
+    ``least_loaded`` cannot see prices at all.
+    """
+    from repro.deployment.edgi import EDGI_PRICING
+    seeds = tuple(6000 + i for i in range(max(2, scale.seeds_per_env - 1)))
+    return FederatedSweepSpec(
+        dci_traces=("nd", "g5klyo"),
+        dci_middlewares=("xwhep",),
+        dci_providers=("stratuslab", "ec2"),
+        dci_max_nodes=(150, 150),
+        n_dcis=(2,),
+        routings=ECONOMICS_ROUTINGS,
+        policies=("fairshare",),
+        pricings=(None, EDGI_PRICING),
+        seeds=seeds,
+        n_tenants=8, bot_size=100, strategy="9C-C-R",
+        pool_fraction=0.10, max_total_workers=8,
+        arrival_rate_per_hour=2.0, deadline_factor=0.5,
+        horizon_days=2.0)
+
+
+def economics_report(scale: Optional[CampaignScale] = None
+                     ) -> ExperimentReport:
+    """Credits spent vs slowdown across uniform/heterogeneous price
+    books on the reference federation.
+
+    The acceptance scenario: under the uniform paper economy
+    ``cheapest_drain`` reproduces ``least_loaded`` decision-for-
+    decision while the scenario's history plane is cold (a constant
+    price factor preserves every argmin), while under the
+    heterogeneous book it routes toward the cheap on-site cloud and
+    spends measurably fewer credits at comparable slowdown.  Warm
+    store = zero new simulations.
+    """
+    scale = scale or get_scale()
+    sweep = economics_sweep(scale)
+    cfgs = sweep.expand()
+    by_axes = {(c.routing, c.pricing is not None, c.seed): r
+               for c, r in zip(cfgs, run_campaign(cfgs))}
+    rep = ExperimentReport(
+        "Economics", "Per-provider pricing and cost-aware routing: "
+                     "credits spent vs slowdown on the reference "
+                     "federation")
+    table = TextTable(
+        "Price book x routing (mean over seeds)",
+        ["price book", "routing", "credits spent", "pool %",
+         "mean slowdown", "max/min spread", "censored"],
+        note="uniform book: the routings decide identically while the "
+             "plane is cold; heterogeneous book (stratuslab 6 / ec2 "
+             "18 credits per CPU-hour): cheapest_drain steers work "
+             "to the cheap provider")
+    spends: Dict[Tuple[str, bool], float] = {}
+    slowdowns: Dict[Tuple[str, bool], float] = {}
+    for heterogeneous in (False, True):
+        for routing in sweep.routings:
+            rs = [by_axes[(routing, heterogeneous, s)]
+                  for s in sweep.seeds]
+            spend = float(np.mean([r.pool_spent for r in rs]))
+            slow = float(np.mean([np.mean(r.slowdowns) for r in rs]))
+            spends[(routing, heterogeneous)] = spend
+            slowdowns[(routing, heterogeneous)] = slow
+            table.add_row(
+                "heterogeneous" if heterogeneous else "uniform",
+                routing, f"{spend:.1f}",
+                f"{float(np.mean([r.pool_used_pct for r in rs])):.1f}",
+                f"{slow:.2f}",
+                f"{float(np.mean([r.slowdown_spread for r in rs])):.2f}",
+                str(sum(r.censored_count for r in rs)))
+    rep.tables.append(table)
+
+    # per-provider split of the heterogeneous runs (first seed)
+    for routing in sweep.routings:
+        res = by_axes[(routing, True, sweep.seeds[0])]
+        table = TextTable(
+            f"Per-DCI credit accounting, heterogeneous book, {routing} "
+            f"(seed {sweep.seeds[0]})",
+            ["DCI", "provider", "rate cr/CPUh", "tenants",
+             "credits spent", "cloud CPUh"])
+        for d in res.dcis:
+            table.add_row(d.name, d.provider,
+                          f"{d.price_per_cpu_hour:g}",
+                          str(d.tenants_assigned),
+                          f"{d.credits_spent:.1f}",
+                          f"{d.cloud_cpu_hours:.1f}")
+        rep.tables.append(table)
+
+    cheap = spends[("cheapest_drain", True)]
+    blind = spends[("least_loaded", True)]
+    saving = 100.0 * (1.0 - cheap / blind) if blind > 0 else 0.0
+    rep.notes.append(
+        f"heterogeneous book: cheapest_drain spends {cheap:.1f} "
+        f"credits vs least_loaded's {blind:.1f} ({saving:.0f}% saved) "
+        f"at mean slowdown {slowdowns[('cheapest_drain', True)]:.2f} "
+        f"vs {slowdowns[('least_loaded', True)]:.2f}")
+    rep.notes.append(
+        f"uniform book sanity: cheapest_drain "
+        f"{spends[('cheapest_drain', False)]:.1f} vs least_loaded "
+        f"{spends[('least_loaded', False)]:.1f} credits — while the "
+        f"scenario's history plane is cold the two policies decide "
+        f"identically (a constant price factor preserves every "
+        f"argmin); they only diverge once archived throughput warms "
+        f"the drain estimates")
+    rep.notes.append(f"seeds per point: {len(sweep.seeds)}; "
+                     f"{sweep.n_tenants} tenants x {sweep.bot_size} "
+                     f"tasks; pool {sweep.pool_fraction:.0%} of the "
+                     f"aggregate workload; global budget "
+                     f"{sweep.max_total_workers} workers")
     return rep
 
 

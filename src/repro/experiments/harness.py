@@ -163,7 +163,7 @@ class ScenarioHarness:
     def __init__(self, horizon: float,
                  arbiter: Optional[CloudArbiter] = None,
                  scheduler_config: Optional[SchedulerConfig] = None,
-                 history=None):
+                 history=None, pricebook=None):
         self.sim = Simulation(horizon=horizon)
         self.arbiter = arbiter
         self.scheduler_config = scheduler_config
@@ -173,6 +173,10 @@ class ScenarioHarness:
         #: SpeQuloS Information module archives into it and the
         #: Oracle / routers / admission controller read through it
         self.history: HistoryPlane = HistoryPlane.ensure(history)
+        #: the scenario's price book (economics plane): None keeps the
+        #: paper's uniform exchange rate; the SpeQuloS billing meter
+        #: and cost-aware routing read per-provider rates from it
+        self.pricebook = pricebook
         self.dcis: "OrderedDict[str, HarnessDCI]" = OrderedDict()
         self._service: Optional[SpeQuloS] = None
 
@@ -217,7 +221,8 @@ class ScenarioHarness:
             self._service = SpeQuloS(
                 self.sim, info=InformationModule(store=self.history),
                 arbiter=self.arbiter,
-                scheduler_config=self.scheduler_config)
+                scheduler_config=self.scheduler_config,
+                pricebook=self.pricebook)
             for dci in self.dcis.values():
                 self._service.connect_dci(dci.name, dci.server, dci.driver)
         return self._service
@@ -250,8 +255,10 @@ class ScenarioHarness:
         if ctrl is not None:
             pool = service.credits.get_pool(pool_id)
             env = service.env_key(dci_name, sub.bot.category)
-            verdict = ctrl.evaluate(sub.bot_id, env, sub.bot.size,
-                                    pool, credits=service.credits).verdict
+            verdict = ctrl.evaluate(
+                sub.bot_id, env, sub.bot.size, pool,
+                credits=service.credits,
+                provider=self.dcis[dci_name].driver.name).verdict
         if verdict == GRANTED:
             service.order_qos_pooled(sub.bot_id, pool_id)
         elif verdict == DEFERRED:
@@ -272,12 +279,29 @@ class ScenarioHarness:
             return
         env = service.env_key(dci_name, sub.bot.category)
         decision = ctrl.evaluate(sub.bot_id, env, sub.bot.size, pool,
-                                 credits=service.credits)
+                                 credits=service.credits,
+                                 provider=self.dcis[dci_name].driver.name)
         if decision.verdict == GRANTED:
             service.order_qos_pooled(sub.bot_id, pool_id)
         else:
             self.sim.at(self.sim.now + ctrl.retry_period,
                         self._retry_deferred, sub, dci_name, pool_id)
+
+    def schedule_deposits(self, policies):
+        """Tick deposit policies over the scenario's virtual time.
+
+        Promotes the one-off deposit helpers into scheduled economics
+        objects: each policy (:class:`~repro.economics.deposits.
+        AccountTopUp`, :class:`~repro.economics.deposits.PoolTopUp`,
+        :class:`~repro.economics.deposits.AllowanceRation`, or
+        anything with ``period`` + ``apply(credits, now)``) fires
+        every ``period`` simulated seconds against the service's
+        credit system.  Returns the started
+        :class:`~repro.economics.deposits.DepositSchedule`.
+        """
+        from repro.economics.deposits import DepositSchedule
+        return DepositSchedule(self.sim, self.service.credits,
+                               policies).start()
 
     def stop_when_complete(self, bot_ids: Iterable[str]) -> None:
         """Stop the simulation once every listed BoT has completed.

@@ -45,6 +45,7 @@ from repro.core.routing import make_router
 from repro.core.scheduler import CloudArbiter
 from repro.core.service import SpeQuloS
 from repro.core.strategies import StrategyCombo, parse_combo
+from repro.economics.pricing import PriceBook
 from repro.experiments.config import (
     ExecutionConfig,
     MultiTenantConfig,
@@ -401,6 +402,12 @@ class DCIOutcome:
     #: peak concurrently alive workers on this DCI's cloud
     workers_peak: int
     cloud_cpu_hours: float
+    #: credits the runs routed here billed (economics plane: the
+    #: per-cloud slice of the pool's spend)
+    credits_spent: float = 0.0
+    #: the provider's effective rate in the scenario's price book
+    #: (quoted at t=0 for time-varying books)
+    price_per_cpu_hour: float = CREDITS_PER_CPU_HOUR
 
 
 @dataclass
@@ -443,6 +450,14 @@ class FederatedResult:
         if self.pool_provisioned <= 0:
             return 0.0
         return 100.0 * self.pool_spent / self.pool_provisioned
+
+    def credits_by_provider(self) -> Dict[str, float]:
+        """Pool spend split per cloud provider (economics plane view);
+        DCIs sharing a provider accumulate into one bucket."""
+        out: Dict[str, float] = {}
+        for d in self.dcis:
+            out[d.provider] = out.get(d.provider, 0.0) + d.credits_spent
+        return out
 
     def tenants_on(self, dci_name: str) -> List[FederatedTenantOutcome]:
         return [t for t in self.tenants if t.dci == dci_name]
@@ -487,7 +502,12 @@ def run_federated(cfg: ScenarioConfig) -> FederatedResult:
                            max_dci_workers=cfg.max_dci_workers,
                            dci_caps=dci_caps,
                            admission=controller)
-    harness = ScenarioHarness(horizon, arbiter=arbiter, history=plane)
+    # the scenario's economy: per-provider rates from the declarative
+    # price map (None entries → the paper's uniform rate) feed the
+    # billing meter, admission forecasts and cost-aware routing
+    book = PriceBook.from_pairs(cfg.price_map().items())
+    harness = ScenarioHarness(horizon, arbiter=arbiter, history=plane,
+                              pricebook=book)
     for i, spec in enumerate(cfg.dcis):
         harness.build_dci(names[i], spec.trace, spec.middleware, cfg.seed,
                           cfg.node_cap_for(spec), provider=spec.provider,
@@ -512,7 +532,7 @@ def run_federated(cfg: ScenarioConfig) -> FederatedResult:
     harness.stop_when_complete(sub.bot_id for sub in tenants)
 
     router = make_router(cfg.routing, affinity=cfg.affinity_map(),
-                         plane=plane)
+                         plane=plane, pricebook=book)
     targets = harness.routing_targets()
     routed: Dict[str, str] = {}
     admissions: Dict[str, str] = {}
@@ -553,7 +573,12 @@ def run_federated(cfg: ScenarioConfig) -> FederatedResult:
             cloud_tasks=harness.cloud_task_count(name),
             workers_launched=sum(r.workers_launched for r in runs),
             workers_peak=dci.driver.peak_concurrency(),
-            cloud_cpu_hours=dci.driver.total_cpu_hours()))
+            cloud_cpu_hours=dci.driver.total_cpu_hours(),
+            # a BoT bills only while on its routed DCI, so per-run
+            # order spend sums to this DCI's slice of the pool
+            credits_spent=sum(service.credits.spent(r.bot_id)
+                              for r in runs),
+            price_per_cpu_hour=book.rate(spec.provider, 0.0)))
 
     spent, _refund = service.credits.close_pool(pool_id)
     return FederatedResult(

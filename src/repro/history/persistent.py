@@ -17,6 +17,10 @@ archive in SQLite next to the campaign result store
 * **content-digest idempotence** — re-archiving an identical record
   (same env, salt and payload) is a no-op, so reports that replay a
   cached campaign into the archive do not grow it without bound.
+* **pruning policies** beyond salt GC — :meth:`PersistentHistoryStore.
+  prune` enforces per-environment record caps (keep the newest N) and
+  age-out (drop records older than D days); surfaced as ``repro
+  history gc --max-per-env N --max-age-days D``.
 
 Imports of the campaign store happen at call time: the campaign
 package sits *above* the core/history layers in the import graph, so
@@ -35,6 +39,7 @@ from repro.history.records import (
     ExecutionRecord,
     decode_grid,
     encode_grid,
+    migrate_provider_column,
 )
 
 __all__ = ["PersistentHistoryStore", "default_history_path"]
@@ -59,7 +64,7 @@ def _current_salt() -> str:
 def _record_digest(rec: ExecutionRecord, salt: str) -> str:
     body = "|".join((rec.env_key, salt, str(rec.n_tasks),
                      repr(rec.makespan), encode_grid(rec.grid),
-                     repr(rec.credits_spent)))
+                     repr(rec.credits_spent), rec.provider))
     return hashlib.sha256(body.encode()).hexdigest()
 
 
@@ -76,6 +81,7 @@ class PersistentHistoryStore:
         makespan REAL NOT NULL,
         grid TEXT NOT NULL,
         credits_spent REAL NOT NULL DEFAULT 0.0,
+        provider TEXT NOT NULL DEFAULT '',
         created_at REAL NOT NULL
     );
     CREATE INDEX IF NOT EXISTS idx_hist_env ON executions (env_key, salt);
@@ -90,6 +96,7 @@ class PersistentHistoryStore:
         self._salt = salt or _current_salt()
         self._conn = sqlite3.connect(self.path)
         self._conn.executescript(self._SCHEMA)
+        migrate_provider_column(self._conn)
         self._conn.commit()
 
     # -------------------------------------------------- HistoryStore API
@@ -97,19 +104,22 @@ class PersistentHistoryStore:
         self._conn.execute(
             "INSERT OR IGNORE INTO executions "
             "(digest, env_key, salt, n_tasks, makespan, grid, "
-            "credits_spent, created_at) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            "credits_spent, provider, created_at) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
             (_record_digest(rec, self._salt), rec.env_key, self._salt,
              rec.n_tasks, rec.makespan, encode_grid(rec.grid),
-             rec.credits_spent, time.time()))
+             rec.credits_spent, rec.provider, time.time()))
         self._conn.commit()
 
     def fetch(self, env_key: str) -> List[ExecutionRecord]:
         rows = self._conn.execute(
-            "SELECT env_key, n_tasks, makespan, grid, credits_spent "
-            "FROM executions WHERE env_key = ? AND salt = ? ORDER BY id",
+            "SELECT env_key, n_tasks, makespan, grid, credits_spent, "
+            "provider FROM executions WHERE env_key = ? AND salt = ? "
+            "ORDER BY id",
             (env_key, self._salt)).fetchall()
-        return [ExecutionRecord(env, n, mk, decode_grid(grid_json), spent)
-                for env, n, mk, grid_json, spent in rows]
+        return [ExecutionRecord(env, n, mk, decode_grid(grid_json),
+                                spent, provider)
+                for env, n, mk, grid_json, spent, provider in rows]
 
     def fetch_rates(self, env_key: str) -> List[Tuple[int, float]]:
         """(n_tasks, makespan) pairs without decoding the grids — the
@@ -149,6 +159,56 @@ class PersistentHistoryStore:
             self._conn.commit()
             if vacuum:
                 self._conn.execute("VACUUM")
+        return int(rows), int(nbytes)
+
+    def prune(self, max_per_env: Optional[int] = None,
+              max_age_days: Optional[float] = None,
+              now: Optional[float] = None,
+              vacuum: bool = True) -> Tuple[int, int]:
+        """Archive pruning beyond salt GC: per-env caps and age-out.
+
+        ``max_per_env`` keeps only the *newest* N current-salt records
+        of every environment (the EWMA throughput and α calibrations
+        weight recent records anyway, so dropping the oldest loses the
+        least information); ``max_age_days`` drops current-salt records
+        archived more than D days ago (wall-clock ``created_at``).
+        Stale-salt records are untouched — :meth:`gc` owns those.
+        Returns ``(rows, grid_bytes)`` reclaimed.
+        """
+        if max_per_env is not None and max_per_env < 1:
+            raise ValueError("max_per_env must be >= 1 or None")
+        if max_age_days is not None and max_age_days <= 0:
+            raise ValueError("max_age_days must be positive or None")
+        # one WHERE clause shared by the accounting SELECT and the
+        # DELETE — condition subqueries, not materialized id lists,
+        # so a large prune never hits SQLite's host-parameter limit
+        conditions = []
+        params: list = []
+        if max_age_days is not None:
+            cutoff = (now if now is not None else time.time()) \
+                - max_age_days * 86400.0
+            conditions.append("(salt = ? AND created_at < ?)")
+            params += [self._salt, cutoff]
+        if max_per_env is not None:
+            conditions.append(
+                "id IN (SELECT id FROM ("
+                "  SELECT id, ROW_NUMBER() OVER ("
+                "    PARTITION BY env_key ORDER BY id DESC) AS rn "
+                "  FROM executions WHERE salt = ?) WHERE rn > ?)")
+            params += [self._salt, max_per_env]
+        if not conditions:
+            return 0, 0
+        where = " OR ".join(conditions)
+        (rows, nbytes) = self._conn.execute(
+            f"SELECT COUNT(*), COALESCE(SUM(LENGTH(grid)), 0) "
+            f"FROM executions WHERE {where}", params).fetchone()
+        if not rows:
+            return 0, 0
+        self._conn.execute(
+            f"DELETE FROM executions WHERE {where}", params)
+        self._conn.commit()
+        if vacuum:
+            self._conn.execute("VACUUM")
         return int(rows), int(nbytes)
 
     def breakdown(self) -> Dict[str, Dict[str, int]]:

@@ -94,15 +94,21 @@ class HistoryPlane:
         return len(self.backend)
 
     def archive(self, env_key: str, monitor,
-                credits_spent: float = 0.0) -> ExecutionRecord:
-        """Archive a finished :class:`~repro.core.info.BoTMonitor`."""
+                credits_spent: float = 0.0,
+                provider: str = "") -> ExecutionRecord:
+        """Archive a finished :class:`~repro.core.info.BoTMonitor`.
+
+        ``provider`` is the environment's provider dimension — the
+        cloud that supplemented the execution — so archived credit
+        costs can be learned per cloud (heterogeneous price books).
+        """
         if not monitor.done:
             raise ValueError("cannot archive an unfinished execution")
         rec = ExecutionRecord(
             env_key=env_key, n_tasks=monitor.total,
             makespan=monitor.completion_times[-1],
             grid=tc_grid(monitor.completion_times, monitor.total),
-            credits_spent=credits_spent)
+            credits_spent=credits_spent, provider=provider)
         self.backend.add(rec)
         return rec
 
@@ -244,22 +250,51 @@ class HistoryPlane:
         return self.mean_slowdown(env_key_of(dci, category))
 
     # ------------------------------------------------- admission basis
-    def cost_per_task(self, env_key: str) -> Optional[float]:
-        """Mean credits billed per task in this environment."""
+    def cost_per_task(self, env_key: str,
+                      provider: Optional[str] = None) -> Optional[float]:
+        """Mean credits billed per task in this environment.
+
+        ``provider`` selects the environment's provider dimension:
+        records from that cloud — plus untagged legacy records, which
+        are provider-agnostic — enter the mean, while records tagged
+        with *other* clouds are excluded (learned costs are per-cloud:
+        the same DCI supplemented from a pricier provider predicts
+        pricier).  A provider the bucket has never seen falls back to
+        the all-provider mean, mirroring the optimistic cold-start of
+        α = 1.
+        """
         history = self.fetch(env_key)
+        if provider is not None:
+            filtered = [rec for rec in history
+                        if rec.provider == provider or not rec.provider]
+            if filtered:
+                history = filtered
         pairs = [(rec.credits_spent, rec.n_tasks)
                  for rec in history if rec.n_tasks > 0]
         if not pairs:
             return None
         return float(np.mean([spent / n for spent, n in pairs]))
 
-    def predicted_cost(self, env_key: str,
-                       n_tasks: int) -> Optional[float]:
+    def predicted_cost(self, env_key: str, n_tasks: int,
+                       provider: Optional[str] = None) -> Optional[float]:
         """Predicted credit cost of a declared BoT, or None cold."""
-        per_task = self.cost_per_task(env_key)
+        per_task = self.cost_per_task(env_key, provider=provider)
         if per_task is None:
             return None
         return per_task * n_tasks
+
+    def provider_costs(self) -> Dict[str, Tuple[int, float]]:
+        """Per-cloud cost learning across every environment:
+        ``{provider: (records, mean credits per task)}`` over records
+        carrying a provider tag (``repro history stats`` prints it)."""
+        acc: Dict[str, List[float]] = {}
+        for env_key in self.env_keys():
+            for rec in self.fetch(env_key):
+                if rec.provider and rec.n_tasks > 0:
+                    acc.setdefault(rec.provider, []).append(
+                        rec.credits_spent / rec.n_tasks)
+        return {provider: (len(vals), float(np.mean(vals)))
+                for provider, vals in sorted(acc.items())}
 
     # --------------------------------------------------------- summary
     def summarize(self, env_key: str) -> EnvSummary:

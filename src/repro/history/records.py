@@ -27,7 +27,7 @@ import numpy as np
 
 __all__ = ["GRID_FRACTIONS", "ExecutionRecord", "HistoryStore",
            "InMemoryHistoryStore", "SQLiteHistoryStore", "env_key_of",
-           "split_env_key", "tc_grid"]
+           "migrate_provider_column", "split_env_key", "tc_grid"]
 
 #: percent grid on which execution history archives tc(x)
 GRID_FRACTIONS = np.arange(1, 101) / 100.0
@@ -65,7 +65,10 @@ class ExecutionRecord:
     the BoT had completed — NaN-padded if the grid was truncated.
     ``credits_spent`` is what the execution's QoS order billed (0 for
     plain-monitoring runs); the admission controller's predicted cost
-    comes from it.
+    comes from it.  ``provider`` is the environment key's *provider
+    dimension*: the cloud that supplemented the execution ("" for
+    plain-monitoring or pre-economics records), so learned credit
+    costs can be split per cloud under heterogeneous price books.
     """
 
     env_key: str
@@ -73,6 +76,7 @@ class ExecutionRecord:
     makespan: float
     grid: np.ndarray
     credits_spent: float = 0.0
+    provider: str = ""
 
     def tc_at(self, fraction: float) -> float:
         """tc(fraction) looked up on the percent grid (nearest cell)."""
@@ -97,6 +101,20 @@ class HistoryStore(Protocol):
 def encode_grid(grid: np.ndarray) -> str:
     """JSON form of a tc grid (NaN cells as nulls) for SQLite backends."""
     return json.dumps([None if np.isnan(v) else float(v) for v in grid])
+
+
+def migrate_provider_column(conn: sqlite3.Connection) -> None:
+    """Add the provider column to a pre-economics ``executions`` table.
+
+    ``CREATE TABLE IF NOT EXISTS`` leaves an existing archive's schema
+    untouched, so databases created before the provider dimension need
+    the column grafted on (old rows read back as provider "").
+    """
+    cols = [row[1] for row in
+            conn.execute("PRAGMA table_info(executions)").fetchall()]
+    if "provider" not in cols:
+        conn.execute("ALTER TABLE executions "
+                     "ADD COLUMN provider TEXT NOT NULL DEFAULT ''")
 
 
 def decode_grid(grid_json: str) -> np.ndarray:
@@ -141,7 +159,8 @@ class SQLiteHistoryStore:
         n_tasks INTEGER NOT NULL,
         makespan REAL NOT NULL,
         grid TEXT NOT NULL,
-        credits_spent REAL NOT NULL DEFAULT 0.0
+        credits_spent REAL NOT NULL DEFAULT 0.0,
+        provider TEXT NOT NULL DEFAULT ''
     );
     CREATE INDEX IF NOT EXISTS idx_env ON executions (env_key);
     """
@@ -149,24 +168,26 @@ class SQLiteHistoryStore:
     def __init__(self, path: str = ":memory:"):
         self._conn = sqlite3.connect(path)
         self._conn.executescript(self._SCHEMA)
+        migrate_provider_column(self._conn)
         self._conn.commit()
 
     def add(self, rec: ExecutionRecord) -> None:
         self._conn.execute(
             "INSERT INTO executions "
-            "(env_key, n_tasks, makespan, grid, credits_spent) "
-            "VALUES (?, ?, ?, ?, ?)",
+            "(env_key, n_tasks, makespan, grid, credits_spent, provider) "
+            "VALUES (?, ?, ?, ?, ?, ?)",
             (rec.env_key, rec.n_tasks, rec.makespan,
-             encode_grid(rec.grid), rec.credits_spent))
+             encode_grid(rec.grid), rec.credits_spent, rec.provider))
         self._conn.commit()
 
     def fetch(self, env_key: str) -> List[ExecutionRecord]:
         rows = self._conn.execute(
-            "SELECT env_key, n_tasks, makespan, grid, credits_spent "
-            "FROM executions WHERE env_key = ? ORDER BY id",
+            "SELECT env_key, n_tasks, makespan, grid, credits_spent, "
+            "provider FROM executions WHERE env_key = ? ORDER BY id",
             (env_key,)).fetchall()
-        return [ExecutionRecord(env, n, mk, decode_grid(grid_json), spent)
-                for env, n, mk, grid_json, spent in rows]
+        return [ExecutionRecord(env, n, mk, decode_grid(grid_json),
+                                spent, provider)
+                for env, n, mk, grid_json, spent, provider in rows]
 
     def fetch_rates(self, env_key: str) -> List[tuple]:
         """(n_tasks, makespan) pairs without decoding the grids."""

@@ -171,8 +171,20 @@ class Simulation:
     # introspection
     # ------------------------------------------------------------------
     def pending(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        """Number of live (non-cancelled) events still queued.
+
+        Prunes cancelled entries while counting (the same garbage
+        :meth:`peek` pops from the top): a heap churned by
+        cancellations used to keep every dead event in memory until
+        its time came around.  The heap list object is mutated in
+        place — :meth:`run` holds an alias to it.
+        """
+        heap = self._heap
+        live = [ev for ev in heap if not ev.cancelled]
+        if len(live) != len(heap):
+            heapq.heapify(live)
+            heap[:] = live
+        return len(heap)
 
     def peek(self) -> Optional[float]:
         """Time of the next live event, or None if the heap is drained."""

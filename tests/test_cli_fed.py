@@ -164,3 +164,63 @@ def test_cli_store_stats_prints_trace_cache_counters(capsys, tmp_path,
     monkeypatch.setenv("REPRO_STORE", str(tmp_path / "s.sqlite"))
     assert main(["store", "stats"]) == 0
     assert "trace cache" in capsys.readouterr().out
+
+
+def test_cli_fed_pricing_and_cheapest_drain(capsys):
+    rc = main(fed_args("--routing", "cheapest_drain",
+                       "--pricing", "simulation=6"))
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "fed2/cheapest_drain/fairshare/SMALL/x2/priced/s3" in out
+    # the per-DCI accounting line shows credits at the quoted rate
+    assert "@ 6 cr/CPUh" in out and "credits" in out
+
+
+def test_cli_fed_rejects_malformed_pricing(capsys):
+    for bad in ("ec2", "ec2=zero", "ec2=-1"):
+        with pytest.raises(SystemExit) as exc:
+            main(fed_args("--pricing", bad))
+        assert "--pricing" in str(exc.value)
+
+
+def test_cli_history_gc_prune_flags(capsys, tmp_path, monkeypatch):
+    import numpy as np
+
+    from repro.history import ExecutionRecord, PersistentHistoryStore
+
+    path = str(tmp_path / "history.sqlite")
+    monkeypatch.setenv("REPRO_HISTORY", path)
+    store = PersistentHistoryStore(path)
+    for i in range(4):
+        store.add(ExecutionRecord("nd-xwhep//SMALL", 10, 100.0 + i,
+                                  np.linspace(1.0, 100.0 + i, 100), 5.0))
+    store.close()
+
+    assert main(["history", "gc", "--max-per-env", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "history prune (max 2/env): reclaimed 2 rows" in out
+    assert "2 records remain" in out
+
+    # age-out with a huge window keeps everything
+    assert main(["history", "gc", "--max-age-days", "9999"]) == 0
+    out = capsys.readouterr().out
+    assert "reclaimed 0 rows" in out
+
+
+def test_cli_history_stats_prints_provider_costs(capsys, tmp_path,
+                                                 monkeypatch):
+    import numpy as np
+
+    from repro.history import ExecutionRecord, PersistentHistoryStore
+
+    path = str(tmp_path / "history.sqlite")
+    monkeypatch.setenv("REPRO_HISTORY", path)
+    store = PersistentHistoryStore(path)
+    store.add(ExecutionRecord("nd-xwhep//SMALL", 10, 100.0,
+                              np.linspace(1.0, 100.0, 100), 30.0,
+                              provider="stratuslab"))
+    store.close()
+    assert main(["history", "stats"]) == 0
+    out = capsys.readouterr().out
+    assert "per-provider learned cost" in out
+    assert "stratuslab" in out

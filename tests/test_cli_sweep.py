@@ -75,3 +75,82 @@ def test_cli_report_prints_store_stats_when_cached(capsys, fresh_store):
     fresh_store.stats = type(fresh_store.stats)()
     main(["report", "figure1"])
     assert "1 hits, 0 misses" in capsys.readouterr().out
+
+
+def test_cli_sweep_federated_matrix(capsys, fresh_store):
+    rc = main(["sweep", "--traces", "nd,g5klyo",
+               "--middlewares", "xwhep",
+               "--n-dcis", "1,2",
+               "--routings", "round_robin,cheapest_drain",
+               "--seeds", "3", "--tenants", "2", "--bot-size", "20",
+               "--pool-fraction", "0.05", "--horizon-days", "2"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    # 2 routings x 2 DCI counts x 1 seed through the same store path
+    assert "fed1/round_robin/fairshare/SMALL/x2/s3" in out
+    assert "fed2/cheapest_drain/fairshare/SMALL/x2/s3" in out
+    assert "pool" in out and "mean slowdown" in out
+    assert len(fresh_store) == 4
+
+    # warm re-run answers the whole matrix from the store
+    fresh_store.stats = type(fresh_store.stats)()
+    main(["sweep", "--traces", "nd,g5klyo", "--middlewares", "xwhep",
+          "--n-dcis", "1,2",
+          "--routings", "round_robin,cheapest_drain",
+          "--seeds", "3", "--tenants", "2", "--bot-size", "20",
+          "--pool-fraction", "0.05", "--horizon-days", "2"])
+    assert "4 hits, 0 misses" in capsys.readouterr().out
+
+
+def test_cli_sweep_federated_pricing_applies_to_grid(capsys, fresh_store):
+    rc = main(["sweep", "--traces", "nd", "--middlewares", "xwhep",
+               "--routings", "cheapest_drain", "--providers", "ec2",
+               "--pricing", "ec2=30", "--seeds", "3", "--tenants", "2",
+               "--bot-size", "20", "--horizon-days", "2"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "/priced/" in out
+
+
+def test_cli_sweep_federated_rejects_bad_pricing():
+    with pytest.raises(SystemExit) as exc:
+        main(["sweep", "--n-dcis", "2", "--pricing", "nonsense"])
+    assert "--pricing" in str(exc.value)
+
+
+def test_cli_report_lists_economics():
+    args = build_parser().parse_args(["report", "economics"])
+    assert args.name == "economics"
+
+
+def test_cli_sweep_federated_rejects_single_bot_axes():
+    for flags, fragment in (
+            (["--credit-fractions", "0.2"], "--pool-fraction"),
+            (["--seed-slots", "2"], "--seeds"),
+            (["--seed-base", "5"], "--seeds"),
+            (["--strategies", "none"], "single QoS combo"),
+            (["--strategies", "9C-C-R,9C-C-D"], "single QoS combo"),
+            (["--thresholds", "0.5,0.9"], "single --thresholds")):
+        with pytest.raises(SystemExit) as exc:
+            main(["sweep", "--n-dcis", "1", *flags])
+        assert fragment in str(exc.value)
+
+
+def test_cli_sweep_federated_strategy_and_threshold_apply(capsys,
+                                                          fresh_store):
+    rc = main(["sweep", "--traces", "nd", "--middlewares", "xwhep",
+               "--n-dcis", "1", "--strategies", "9C-C-D",
+               "--thresholds", "0.5", "--seeds", "3", "--tenants", "2",
+               "--bot-size", "20", "--horizon-days", "2"])
+    assert rc == 0
+    assert "fed1/round_robin" in capsys.readouterr().out
+    # the expanded scenario carried the combo and threshold through
+    from repro.campaign.store import decode_result
+    (digest,) = [row[0] for row in fresh_store._conn.execute(
+        "SELECT digest FROM results")]
+    (kind, payload) = fresh_store._conn.execute(
+        "SELECT kind, payload FROM results WHERE digest = ?",
+        (digest,)).fetchone()
+    res = decode_result(kind, payload)
+    assert res.config.strategy == "9C-C-D"
+    assert res.config.strategy_threshold == 0.5

@@ -216,3 +216,39 @@ def test_zero_delay_event_runs_at_now():
 def test_infinite_horizon_default():
     sim = Simulation()
     assert math.isinf(sim.horizon)
+
+
+def test_pending_prunes_cancelled_heap_entries():
+    """The O(n) count used to leave cancelled garbage on the heap;
+    pending() now compacts it (like peek pops it from the top) while
+    keeping the remaining schedule intact."""
+    sim = Simulation(horizon=100.0)
+    ran = []
+    keep = [sim.at(float(t), ran.append, t) for t in (10, 30, 50)]
+    doomed = [sim.at(float(t), ran.append, -t) for t in (20, 40, 60)]
+    for ev in doomed:
+        ev.cancel()
+    assert len(sim._heap) == 6
+    assert sim.pending() == 3
+    assert len(sim._heap) == 3          # garbage reclaimed eagerly
+    sim.run()
+    assert ran == [10, 30, 50]          # order survives the re-heapify
+    assert keep[0].time == 10.0
+
+
+def test_pending_prune_inside_running_callback():
+    """run() holds an alias to the heap list; pending() must compact
+    in place so events scheduled after the prune still fire."""
+    sim = Simulation(horizon=100.0)
+    ran = []
+
+    def first():
+        victim.cancel()
+        assert sim.pending() == 1       # prunes mid-run
+        ran.append("first")
+
+    sim.at(1.0, first)
+    victim = sim.at(2.0, ran.append, "cancelled")
+    sim.at(3.0, ran.append, "last")
+    sim.run()
+    assert ran == ["first", "last"]

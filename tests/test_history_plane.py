@@ -45,7 +45,8 @@ def records(draw, env_key="dci-a//SMALL"):
         makespan=times[-1],
         grid=grid,
         credits_spent=draw(st.floats(min_value=0.0, max_value=1e6,
-                                     allow_nan=False)))
+                                     allow_nan=False)),
+        provider=draw(st.sampled_from(("", "ec2", "stratuslab"))))
 
 
 def _assert_identical(a: ExecutionRecord, b: ExecutionRecord) -> None:
@@ -53,6 +54,7 @@ def _assert_identical(a: ExecutionRecord, b: ExecutionRecord) -> None:
     assert a.n_tasks == b.n_tasks
     assert a.makespan == b.makespan          # exact, not approx
     assert a.credits_spent == b.credits_spent
+    assert a.provider == b.provider
     assert np.array_equal(a.grid, b.grid, equal_nan=True)
 
 
@@ -279,3 +281,145 @@ def test_info_module_reads_and_archives_through_the_plane():
     assert rec.makespan == 4.0
     assert rec.credits_spent == 3.25
     assert math.isfinite(rec.tc_at(1.0))
+
+
+# --------------------------------------------- provider dimension (economics)
+def _rec(env, n, makespan, spent, provider=""):
+    grid = np.full(100, np.nan)
+    grid[-1] = makespan
+    return ExecutionRecord(env, n, makespan, grid,
+                           credits_spent=spent, provider=provider)
+
+
+def test_cost_per_task_filters_by_provider():
+    plane = HistoryPlane()
+    env = "dci-a//SMALL"
+    plane.add(_rec(env, 10, 100.0, 50.0, provider="stratuslab"))   # 5/task
+    plane.add(_rec(env, 10, 100.0, 150.0, provider="ec2"))         # 15/task
+    assert plane.cost_per_task(env) == pytest.approx(10.0)
+    assert plane.cost_per_task(env, provider="stratuslab") == \
+        pytest.approx(5.0)
+    assert plane.cost_per_task(env, provider="ec2") == pytest.approx(15.0)
+    # untagged legacy records are provider-agnostic: they join every
+    # provider's estimate instead of being superseded by tagged ones
+    plane.add(_rec(env, 10, 100.0, 250.0))
+    assert plane.cost_per_task(env, provider="ec2") == \
+        pytest.approx((15.0 + 25.0) / 2.0)
+    # a provider the bucket never saw: only the provider-agnostic
+    # (untagged) records speak for it
+    assert plane.cost_per_task(env, provider="nimbus") == \
+        pytest.approx(25.0)
+    assert plane.predicted_cost(env, 20, provider="stratuslab") == \
+        pytest.approx(20 * (5.0 + 25.0) / 2.0)
+
+
+def test_provider_costs_aggregates_across_envs():
+    plane = HistoryPlane()
+    plane.add(_rec("a//SMALL", 10, 50.0, 60.0, provider="ec2"))
+    plane.add(_rec("b//BIG", 10, 50.0, 20.0, provider="ec2"))
+    plane.add(_rec("a//SMALL", 10, 50.0, 30.0, provider="stratuslab"))
+    plane.add(_rec("a//SMALL", 10, 50.0, 99.0))   # untagged: excluded
+    costs = plane.provider_costs()
+    assert costs["ec2"] == (2, pytest.approx(4.0))
+    assert costs["stratuslab"] == (1, pytest.approx(3.0))
+    assert "" not in costs
+
+
+def test_admission_reads_per_provider_cost():
+    from repro.core.admission import AdmissionController
+    from repro.core.credit import CreditSystem
+    plane = HistoryPlane()
+    env = "dci-a//SMALL"
+    plane.add(_rec(env, 10, 100.0, 50.0, provider="stratuslab"))
+    plane.add(_rec(env, 10, 100.0, 1000.0, provider="ec2"))
+    credits = CreditSystem()
+    credits.deposit("u", 120.0)
+    pool = credits.open_pool("p", "u", 120.0)
+    ctrl = AdmissionController(plane, mode="reject")
+    # 20 tasks: 100 credits from stratuslab history (fits), 2000 from ec2
+    assert ctrl.evaluate("b1", env, 20, pool,
+                         provider="stratuslab").verdict == "granted"
+    ctrl.release("b1")
+    assert ctrl.evaluate("b2", env, 20, pool,
+                         provider="ec2").verdict == "rejected"
+
+
+def test_sqlite_migration_adds_provider_column(tmp_path):
+    import sqlite3
+    path = str(tmp_path / "old.sqlite")
+    conn = sqlite3.connect(path)
+    conn.executescript("""
+        CREATE TABLE executions (
+            id INTEGER PRIMARY KEY AUTOINCREMENT,
+            env_key TEXT NOT NULL, n_tasks INTEGER NOT NULL,
+            makespan REAL NOT NULL, grid TEXT NOT NULL,
+            credits_spent REAL NOT NULL DEFAULT 0.0);
+    """)
+    conn.execute("INSERT INTO executions "
+                 "(env_key, n_tasks, makespan, grid, credits_spent) "
+                 "VALUES ('a//SMALL', 5, 10.0, '[10.0]', 2.5)")
+    conn.commit()
+    conn.close()
+    store = SQLiteHistoryStore(path)          # migrates in place
+    (rec,) = store.fetch("a//SMALL")
+    assert rec.provider == ""                 # legacy rows read back
+    store.add(_rec("a//SMALL", 5, 11.0, 3.0, provider="ec2"))
+    assert store.fetch("a//SMALL")[1].provider == "ec2"
+
+
+# -------------------------------------------------- archive pruning policies
+def _prune_store(tmp_path, n=5, env="a//SMALL"):
+    store = PersistentHistoryStore(str(tmp_path / "h.sqlite"),
+                                   salt="test")
+    for i in range(n):
+        store.add(_rec(env, 10, 100.0 + i, 1.0))
+    return store
+
+
+def test_prune_caps_records_per_env(tmp_path):
+    store = _prune_store(tmp_path, n=5)
+    for i in range(3):
+        store.add(_rec("b//BIG", 10, 200.0 + i, 1.0))
+    rows, nbytes = store.prune(max_per_env=2)
+    assert rows == 4 and nbytes > 0
+    # the newest two of each environment survive, in insertion order
+    assert [r.makespan for r in store.fetch("a//SMALL")] == [103.0, 104.0]
+    assert [r.makespan for r in store.fetch("b//BIG")] == [201.0, 202.0]
+    assert store.prune(max_per_env=2) == (0, 0)
+
+
+def test_prune_ages_out_old_records(tmp_path):
+    import time as _time
+    store = _prune_store(tmp_path, n=3)
+    # pretend the first two records are 10 days old
+    store._conn.execute(
+        "UPDATE executions SET created_at = ? WHERE makespan < 102.0",
+        (_time.time() - 10 * 86400.0,))
+    store._conn.commit()
+    rows, _ = store.prune(max_age_days=5.0)
+    assert rows == 2
+    assert [r.makespan for r in store.fetch("a//SMALL")] == [102.0]
+
+
+def test_prune_leaves_stale_salt_records_to_gc(tmp_path):
+    path = str(tmp_path / "h.sqlite")
+    old = PersistentHistoryStore(path, salt="old")
+    old.add(_rec("a//SMALL", 10, 1.0, 1.0))
+    old.close()
+    store = PersistentHistoryStore(path, salt="new")
+    for i in range(3):
+        store.add(_rec("a//SMALL", 10, 100.0 + i, 1.0))
+    rows, _nbytes = store.prune(max_per_env=1)
+    assert rows == 2
+    assert len(store) == 1
+    assert store.stale_count() == 1           # untouched by prune
+    assert store.gc()[0] == 1
+
+
+def test_prune_validates_arguments(tmp_path):
+    store = _prune_store(tmp_path, n=1)
+    with pytest.raises(ValueError):
+        store.prune(max_per_env=0)
+    with pytest.raises(ValueError):
+        store.prune(max_age_days=0.0)
+    assert store.prune() == (0, 0)            # no policy = no-op

@@ -195,3 +195,93 @@ def test_new_policies_reject_empty_target_lists():
     for policy in ("history_weighted", "affinity_learned"):
         with pytest.raises(ValueError):
             make_router(policy, plane=HistoryPlane()).route("SMALL", [], 0.0)
+
+
+# ------------------------------------------------------- cheapest_drain
+class _FakeDriver:
+    def __init__(self, name):
+        self.name = name
+
+
+def _priced_dci(name, provider, **kw):
+    dci = _FakeDCI(name, **kw)
+    dci.driver = _FakeDriver(provider)
+    return dci
+
+
+def test_cheapest_drain_uniform_book_matches_least_loaded():
+    from repro.core.routing import CheapestDrainRouter
+    from repro.economics.pricing import PriceBook
+    targets = [_priced_dci("a", "stratuslab", busy=5, backlog=5, idle=5),
+               _priced_dci("b", "ec2", busy=1, backlog=0, idle=9)]
+    cheap = CheapestDrainRouter(pricebook=PriceBook.uniform(15.0))
+    blind = LeastLoadedRouter()
+    for category in ("SMALL", "BIG"):
+        assert cheap.route(category, targets, 0.0) == \
+            blind.route(category, targets, 0.0)
+    # ties too: both idle -> both pick the earliest declared
+    idle = [_priced_dci("a", "stratuslab"), _priced_dci("b", "ec2")]
+    assert cheap.route("SMALL", idle, 0.0) == \
+        blind.route("SMALL", idle, 0.0) == 0
+
+
+def test_cheapest_drain_prefers_cheap_provider_until_loaded():
+    from repro.core.routing import CheapestDrainRouter
+    from repro.economics.pricing import PriceBook
+    book = PriceBook.from_pairs((("stratuslab", 6.0), ("ec2", 18.0)))
+    r = CheapestDrainRouter(pricebook=book)
+    # equal loads: the 3x-cheaper provider wins even declared second
+    targets = [_priced_dci("pricey", "ec2"),
+               _priced_dci("cheap", "stratuslab")]
+    assert r.route("SMALL", targets, 0.0) == 1
+    # the cheap DCI saturated far past the price ratio: load wins
+    targets = [_priced_dci("pricey", "ec2", idle=10),
+               _priced_dci("cheap", "stratuslab",
+                           busy=10, backlog=90, idle=0)]
+    assert r.route("SMALL", targets, 0.0) == 0
+
+
+def test_cheapest_drain_never_prefers_dead_dci():
+    from repro.core.routing import CheapestDrainRouter
+    from repro.economics.pricing import PriceBook
+    book = PriceBook.from_pairs((("stratuslab", 0.5),))
+    targets = [_priced_dci("pricey", "ec2", idle=5),
+               _priced_dci("dead-cheap", "stratuslab", idle=0)]
+    assert CheapestDrainRouter(pricebook=book).route(
+        "SMALL", targets, 0.0) == 0
+
+
+def test_cheapest_drain_warm_plane_uses_drain_estimates():
+    from repro.core.routing import CheapestDrainRouter
+    from repro.economics.pricing import PriceBook
+    # archived throughput: "slow" drains 10x slower than "fast";
+    # prices equal, so the drain estimate alone must decide
+    plane = _plane_with_slowdowns([("slow", "SMALL", 1.0, 0.01),
+                                   ("fast", "SMALL", 1.0, 0.1)])
+    targets = [_priced_dci("slow", "ec2", busy=5, backlog=5, idle=5),
+               _priced_dci("fast", "ec2", busy=5, backlog=5, idle=5)]
+    r = CheapestDrainRouter(plane=plane, pricebook=PriceBook())
+    assert r.route("SMALL", targets, 0.0) == 1
+
+
+def test_cheapest_drain_charges_default_rate_without_driver():
+    from repro.core.routing import CheapestDrainRouter
+    from repro.economics.pricing import PriceBook
+    book = PriceBook.from_pairs((("stratuslab", 6.0),))
+    # no .driver attribute: the book's default applies (15 > 6)
+    targets = [_FakeDCI("plain"), _priced_dci("cheap", "stratuslab")]
+    assert CheapestDrainRouter(pricebook=book).route(
+        "SMALL", targets, 0.0) == 1
+
+
+def test_make_router_threads_pricebook_into_cheapest_drain():
+    from repro.economics.pricing import PriceBook
+    plane = HistoryPlane()
+    book = PriceBook.from_pairs((("ec2", 30.0),))
+    router = make_router("cheapest_drain", plane=plane, pricebook=book)
+    assert router.name == "cheapest_drain"
+    assert router.plane is plane and router.book is book
+    # without a book the factory supplies the uniform default
+    assert make_router("cheapest_drain").book.default == 15.0
+    with pytest.raises(ValueError):
+        make_router("cheapest_drain").route("SMALL", [], 0.0)
