@@ -36,15 +36,25 @@ def pytest_collection_modifyitems(items):
 
 
 def pytest_terminal_summary(terminalreporter):
-    """Surface campaign-store effectiveness (CI greps this line)."""
+    """Surface campaign-store effectiveness (CI greps these lines)."""
     from repro.campaign.executor import default_jobs
     from repro.campaign.store import current_store
+    from repro.experiments.harness import TRACE_CACHE
+    from repro.experiments.trace_store import default_trace_store
 
     store = current_store()
     if store is not None and store.stats.lookups:
         terminalreporter.write_line(
             f"campaign store: {store.stats.summary()}, "
             f"{len(store)} records, jobs={default_jobs()} — {store.path}")
+    # the two-tier trace cache: L1 LRU counters (with disk promotions)
+    # next to the shared on-disk store's own accounting
+    if TRACE_CACHE.hits or TRACE_CACHE.misses:
+        line = f"trace cache: {TRACE_CACHE.summary()}"
+        traces = default_trace_store()
+        if traces is not None:
+            line += f" — store: {traces.summary()}"
+        terminalreporter.write_line(line)
 
 
 @pytest.fixture(scope="session")

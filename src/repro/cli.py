@@ -445,13 +445,26 @@ def _cmd_fed(args) -> int:
 def _cmd_store(args) -> int:
     from repro.campaign.store import ResultStore, default_store_path
     from repro.experiments.harness import TRACE_CACHE
+    from repro.experiments.trace_store import (
+        TraceStore,
+        default_trace_store_path,
+    )
     store = ResultStore(default_store_path())
+    # the trace store sits next to the result store; open it directly
+    # (bypassing REPRO_NO_CACHE) so stats/gc work even when caching is
+    # disabled for runs
+    traces = TraceStore(default_trace_store_path())
     if args.action == "stats":
         print(f"store: {store.path}")
         print(f"  {len(store)} records, {store.file_bytes()} bytes on disk")
         for kind, counts in sorted(store.breakdown().items()):
             print(f"  {kind:<14} {counts['current']:6d} current  "
                   f"{counts['stale']:6d} stale")
+        current, stale = traces.entries()
+        print(f"trace store: {traces.root}")
+        print(f"  {current} current + {stale} stale realizations, "
+              f"{traces.file_bytes()} bytes on disk "
+              f"(generator {traces.fingerprint})")
         # warm-run diagnostics in one place: the trace-cache LRU
         # counters next to the persistent store's accounting (the
         # cache is per process — the live numbers appear after report/
@@ -463,6 +476,12 @@ def _cmd_store(args) -> int:
           f"({nbytes} payload bytes) — {store.path}")
     print(f"  {len(store)} records remain, "
           f"{store.file_bytes()} bytes on disk")
+    tfiles, tbytes = traces.gc()
+    print(f"trace store gc: removed {tfiles} stale realizations "
+          f"({tbytes} bytes) — {traces.root}")
+    tcur, _ = traces.entries()
+    print(f"  {tcur} realizations remain, "
+          f"{traces.file_bytes()} bytes on disk")
     return 0
 
 

@@ -24,15 +24,24 @@ where ``stream`` is empty for single-DCI scenarios (bit-identical to
 the historical layout) and ``(dci_index,)`` in a federation, so two
 DCIs sharing a trace name still realize *different* environments.
 
-Trace-realization cache: materialized interval arrays are cached per
-``(trace, seed-stream, cap, horizon)`` with true LRU eviction — paired
-with/without runs, the 18-combination strategy grid and every DCI of a
-federated sweep replay the same environments, so regeneration would be
-pure waste.  Capacity comes from ``REPRO_TRACE_CACHE`` (default 6;
-federated scenarios materialize several traces per execution and would
-silently thrash a smaller cache); hit/miss/eviction counters are kept
-on the cache object.  Only raw interval arrays are cached — Node
-objects carry a scan cursor and are rebuilt per execution.
+Trace-realization cache (two tiers): materialized interval arrays are
+cached per ``(trace, seed-stream, cap, horizon)``.  L1 is a true-LRU
+in-process dict — paired with/without runs, the 18-combination
+strategy grid and every DCI of a federated sweep replay the same
+environments, so regeneration would be pure waste.  Capacity comes
+from ``REPRO_TRACE_CACHE`` (default 6; federated scenarios materialize
+several traces per execution and would silently thrash a smaller
+cache).  L2 is the content-addressed on-disk
+:class:`~repro.experiments.trace_store.TraceStore` shared across
+processes: an L1 miss first tries the store (memory-mapped, no
+regeneration), and fresh realizations are archived on the way in, so
+`CampaignExecutor` shards — keyed by ``(trace, seed)`` — land on warm
+entries by construction.  Hit/miss/eviction counters are kept on the
+cache object; ``disk_hits`` counts L2 promotions.  Only raw interval
+arrays are cached, and they are **read-only** (a mutating consumer
+fails loudly instead of silently corrupting every future execution
+sharing the realization) — Node objects carry a scan cursor and are
+rebuilt per execution.
 """
 
 from __future__ import annotations
@@ -50,6 +59,7 @@ from repro.core.admission import DEFERRED, GRANTED
 from repro.core.info import InformationModule
 from repro.core.scheduler import CloudArbiter, SchedulerConfig
 from repro.core.service import SpeQuloS
+from repro.experiments.trace_store import default_trace_store
 from repro.history import HistoryPlane
 from repro.infra.catalog import get_trace_spec
 from repro.infra.node import Node
@@ -69,12 +79,19 @@ _RawNodes = List[Tuple[np.ndarray, np.ndarray, float, str]]
 
 
 class TraceCache:
-    """LRU cache of materialized trace realizations (raw arrays only)."""
+    """Two-tier cache of materialized trace realizations (raw arrays).
+
+    L1: in-process LRU of raw per-node arrays.  L2: the shared
+    content-addressed on-disk :class:`~repro.experiments.trace_store.
+    TraceStore` (disabled under ``REPRO_NO_CACHE=1``).  All cached
+    arrays are read-only; Node rebuilds share them zero-copy.
+    """
 
     def __init__(self) -> None:
         self._entries: "OrderedDict[_TraceKey, _RawNodes]" = OrderedDict()
         self.hits = 0
-        self.misses = 0
+        self.misses = 0       # L1 misses (may still hit disk)
+        self.disk_hits = 0    # L1 misses served by the on-disk store
         self.evictions = 0
 
     @staticmethod
@@ -94,9 +111,7 @@ class TraceCache:
         raw = self._entries.get(key)
         if raw is None:
             self.misses += 1
-            rng = np.random.default_rng([seed, *stream, 0xACE])
-            nodes = get_trace_spec(trace).materialize(rng, horizon, cap)
-            raw = [(n.starts, n.ends, n.power, n.tag) for n in nodes]
+            raw = self._materialize_miss(key)
             while len(self._entries) >= self.capacity():
                 self._entries.popitem(last=False)
                 self.evictions += 1
@@ -109,6 +124,33 @@ class TraceCache:
         return [Node(i, power, starts, ends, tag=tag)
                 for i, (starts, ends, power, tag) in enumerate(raw)]
 
+    def _materialize_miss(self, key: _TraceKey) -> _RawNodes:
+        """L1 miss: promote from the disk store, else generate + archive.
+
+        The generated arrays are frozen before anything else sees them:
+        every execution rebuilt from this entry shares them zero-copy,
+        so a mutating consumer must fail loudly.
+        """
+        trace, (seed, *stream), cap, horizon = key
+        store = default_trace_store()
+        if store is not None:
+            raw = store.load(key)
+            if raw is not None:
+                self.disk_hits += 1
+                return raw
+        rng = np.random.default_rng([seed, *stream, 0xACE])
+        nodes = get_trace_spec(trace).materialize(rng, horizon, cap)
+        raw = [(n.starts, n.ends, n.power, n.tag) for n in nodes]
+        for starts, ends, _power, _tag in raw:
+            starts.setflags(write=False)
+            ends.setflags(write=False)
+        if store is not None:
+            try:
+                store.save(key, raw)
+            except OSError:
+                pass  # a full/read-only disk must not fail the run
+        return raw
+
     # ------------------------------------------------------------------
     def keys(self) -> List[_TraceKey]:
         return list(self._entries)
@@ -117,13 +159,14 @@ class TraceCache:
         self._entries.clear()
 
     def reset_stats(self) -> None:
-        self.hits = self.misses = self.evictions = 0
+        self.hits = self.misses = self.disk_hits = self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def summary(self) -> str:
-        return (f"{self.hits} hits, {self.misses} misses, "
+        return (f"{self.hits} hits, {self.misses} misses "
+                f"({self.disk_hits} from disk), "
                 f"{self.evictions} evictions, {len(self)} entries "
                 f"(cap {self.capacity()})")
 

@@ -58,18 +58,17 @@ def gate_windows(threshold: float, period: float, phase: float,
     w = period / (2.0 * math.pi)
     lo_off = (a * w - phase * w) % period
     width = (math.pi - 2.0 * a) * w
-    starts = []
-    ends = []
-    k0 = -1
-    t = lo_off + k0 * period
-    while t < horizon:
-        s0, e0 = t, t + width
-        if e0 > 0:
-            starts.append(max(0.0, s0))
-            ends.append(min(horizon, e0))
-        k0 += 1
-        t = lo_off + k0 * period
-    return np.asarray(starts), np.asarray(ends)
+    # One window per period at t = lo_off + k*period, k = -1, 0, 1, ...
+    # while t < horizon; the arange form computes the exact same
+    # k*period + lo_off floats as the historical per-step loop.
+    n_max = max(0, int(math.ceil((horizon - lo_off) / period))) + 2
+    t = lo_off + np.arange(-1, n_max, dtype=float) * period
+    t = t[t < horizon]
+    e0 = t + width
+    keep = e0 > 0.0
+    starts = np.maximum(0.0, t[keep])
+    ends = np.minimum(horizon, e0[keep])
+    return starts, ends
 
 
 class GanttTraceGenerator:

@@ -13,7 +13,7 @@ from typing import Tuple
 
 import numpy as np
 
-__all__ = ["intersect", "total_length", "validate"]
+__all__ = ["intersect", "intersect_scalar", "total_length", "validate"]
 
 Arr = np.ndarray
 
@@ -40,7 +40,42 @@ def total_length(starts: Arr, ends: Arr) -> float:
 
 
 def intersect(s1: Arr, e1: Arr, s2: Arr, e2: Arr) -> Tuple[Arr, Arr]:
-    """Intersection of two interval sets (two-pointer merge)."""
+    """Intersection of two interval sets.
+
+    Vectorized pair enumeration: interval ``i`` of the first set
+    overlaps exactly the second-set slice ``[lo_i, hi_i)`` where
+    ``lo_i`` is the first ``j`` with ``e2[j] > s1[i]`` and ``hi_i`` the
+    first with ``s2[j] >= e1[i]`` (both sets are sorted and disjoint,
+    so the overlap region is one contiguous run).  Emits the same
+    ``(max(start), min(end))`` floats in the same order as the
+    historical two-pointer merge (:func:`intersect_scalar`) — only the
+    enumeration is batched.
+    """
+    s1 = np.asarray(s1, dtype=float)
+    e1 = np.asarray(e1, dtype=float)
+    s2 = np.asarray(s2, dtype=float)
+    e2 = np.asarray(e2, dtype=float)
+    if s1.size == 0 or s2.size == 0:
+        return np.empty(0), np.empty(0)
+    lo = np.searchsorted(e2, s1, side="right")
+    hi = np.searchsorted(s2, e1, side="left")
+    counts = hi - lo
+    np.maximum(counts, 0, out=counts)
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0), np.empty(0)
+    i = np.repeat(np.arange(s1.shape[0]), counts)
+    # concatenated ranges lo[i]..hi[i): a ramp minus each row's offset
+    offsets = np.concatenate(([0], np.cumsum(counts[:-1])))
+    j = np.arange(total) - np.repeat(offsets - lo, counts)
+    out_s = np.maximum(s1[i], s2[j])
+    out_e = np.minimum(e1[i], e2[j])
+    return out_s, out_e
+
+
+def intersect_scalar(s1: Arr, e1: Arr, s2: Arr, e2: Arr) -> Tuple[Arr, Arr]:
+    """Two-pointer reference for :func:`intersect` (kept for property
+    tests pinning the vectorized path float-for-float)."""
     out_s: list[float] = []
     out_e: list[float] = []
     i = j = 0

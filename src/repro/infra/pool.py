@@ -18,6 +18,23 @@ middleware (which schedules its completion / preemption / resume
 events) and re-enters the pool through :meth:`release` /
 :meth:`preempted`.
 
+Ready bookkeeping: alongside the draw lists the pool keeps
+``_ready_end_of`` (node id → ``(interval_end, node)`` for every node
+filed ready) and ``_stale`` (a min-heap of those interval ends).  The
+probes — :meth:`has_ready`, :meth:`idle_count`,
+:meth:`next_future_start` — used to rescan and re-validate every list
+entry per call, O(pool) each; now they pop the stale heap once per
+*expired* entry (amortized O(log n)), refile those nodes to their next
+interval, and read the answer off the index.  :meth:`acquire`
+deliberately does **not** sweep: its draw loop still validates lazily
+so the RNG draw sequence (and thus every fixed-seed golden) is
+bit-identical to the historical scan — a sweep would refile entries
+the historical code left in place and shift the draw weights.  Entries
+a sweep refiled remain in the draw lists as *ghosts* (their id has
+left the index) and are skipped at draw time exactly like the retired
+nodes the historical loop skipped; a sweep compacts them away when
+they outnumber live entries.
+
 Selection model: desktop-grid work distribution is *pull-based* — the
 server hands a task to whichever idle worker polls next.  Among
 homogeneous volunteers that is equivalent to a uniformly random pick.
@@ -33,7 +50,7 @@ paper's *Flat* strategy its modest-but-nonzero tail pickup (§4.2.1).
 from __future__ import annotations
 
 import heapq
-from typing import Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -54,7 +71,13 @@ class NodePool:
         self.cloud_poll_weight = float(cloud_poll_weight)
         self._ready_reg: List[Node] = []
         self._ready_cloud: List[Node] = []
-        self._future: List[Tuple[float, int, Node]] = []  # (next_start, id, node)
+        #: node id -> (interval_end, node) for every node filed ready
+        self._ready_end_of: Dict[int, Tuple[float, Node]] = {}
+        #: min-heap of (interval_end, id); entries go stale when the
+        #: node leaves ready — validated against _ready_end_of on pop
+        self._stale: List[Tuple[float, int]] = []
+        # (next_start, id, node, interval_end)
+        self._future: List[Tuple[float, int, Node, float]] = []
         self._members: set[int] = set()
         self.size = 0
         for n in nodes:
@@ -74,6 +97,7 @@ class NodePool:
         if node.node_id not in self._members:
             return
         self._members.discard(node.node_id)
+        self._ready_end_of.pop(node.node_id, None)
         self.size -= 1
 
     def __contains__(self, node: Node) -> bool:
@@ -87,20 +111,51 @@ class NodePool:
             self._members.discard(node.node_id)
             self.size -= 1
             return
-        start, _end = nxt
+        start, end = nxt
         if start <= at:
-            (self._ready_cloud if node.cloud else self._ready_reg).append(node)
+            self._file_ready(node, end)
         else:
-            heapq.heappush(self._future, (start, node.node_id, node))
+            heapq.heappush(self._future, (start, node.node_id, node, end))
+
+    def _file_ready(self, node: Node, end: float) -> None:
+        self._ready_end_of[node.node_id] = (end, node)
+        heapq.heappush(self._stale, (end, node.node_id))
+        (self._ready_cloud if node.cloud else self._ready_reg).append(node)
 
     def _promote(self, t: float) -> None:
         """Move nodes whose next interval has started into ready."""
         future = self._future
         while future and future[0][0] <= t:
-            _, nid, node = heapq.heappop(future)
+            _, nid, node, end = heapq.heappop(future)
             if nid not in self._members:
                 continue
-            (self._ready_cloud if node.cloud else self._ready_reg).append(node)
+            self._file_ready(node, end)
+
+    def _sweep_stale(self, t: float) -> None:
+        """Refile every ready entry whose interval has already ended.
+
+        Only the probes call this — :meth:`acquire` keeps the
+        historical lazy validation so its RNG draw sequence is
+        unchanged.  Refiled nodes leave ghosts in the draw lists;
+        compact those away once they dominate (never triggers in runs
+        that only acquire, so fixed-seed traces are unaffected).
+        """
+        stale = self._stale
+        index = self._ready_end_of
+        while stale and stale[0][0] <= t:
+            end, nid = heapq.heappop(stale)
+            entry = index.get(nid)
+            if entry is None or entry[0] != end:
+                continue  # the node left ready (or was refiled) already
+            del index[nid]
+            self._enqueue(entry[1], t)
+        ghosts = (len(self._ready_reg) + len(self._ready_cloud)
+                  - len(index))
+        if ghosts > len(index) + 8:
+            self._ready_reg = [n for n in self._ready_reg
+                               if n.node_id in index]
+            self._ready_cloud = [n for n in self._ready_cloud
+                                 if n.node_id in index]
 
     # ------------------------------------------------------------------
     def _pop_from(self, ready: List[Node], t: float
@@ -109,13 +164,15 @@ class NodePool:
             i = int(self._rng.integers(len(ready)))
             ready[i], ready[-1] = ready[-1], ready[i]
             node = ready.pop()
-            if node.node_id not in self._members:
-                continue
+            if node.node_id not in self._ready_end_of:
+                continue  # retired, or a ghost left behind by a sweep
             iv = node.interval_at(t)
             if iv is None:
                 # Stale: its interval ended while it sat idle; refile.
+                del self._ready_end_of[node.node_id]
                 self._enqueue(node, t)
                 continue
+            del self._ready_end_of[node.node_id]
             return node, iv[1]
         return None
 
@@ -154,13 +211,15 @@ class NodePool:
 
     # ------------------------------------------------------------------
     def has_ready(self, t: float) -> bool:
-        """Whether at least one idle node is available right now."""
+        """Whether at least one idle node is available right now.
+
+        Stale entries are refiled (consistently with
+        :meth:`next_future_start`) rather than rescanned on every
+        poll, so the check is O(expired) amortized, not O(pool).
+        """
         self._promote(t)
-        for ready in (self._ready_reg, self._ready_cloud):
-            for node in ready:
-                if node.node_id in self._members and node.interval_at(t):
-                    return True
-        return False
+        self._sweep_stale(t)
+        return bool(self._ready_end_of)
 
     def next_future_start(self, t: float) -> Optional[float]:
         """Earliest future time an *idle, currently away* node returns.
@@ -170,24 +229,9 @@ class NodePool:
         next intervals are taken into account.
         """
         self._promote(t)
-        any_ready = False
-        for attr in ("_ready_reg", "_ready_cloud"):
-            ready = getattr(self, attr)
-            keep: List[Node] = []
-            refile: List[Node] = []
-            for node in ready:
-                if node.node_id not in self._members:
-                    continue
-                if node.interval_at(t) is not None:
-                    keep.append(node)  # available now — caller can acquire
-                else:
-                    refile.append(node)
-            setattr(self, attr, keep)
-            for node in refile:
-                self._enqueue(node, t)
-            any_ready = any_ready or bool(getattr(self, attr))
-        if any_ready:
-            return t
+        self._sweep_stale(t)
+        if self._ready_end_of:
+            return t  # available now — caller can acquire
         while self._future and self._future[0][1] not in self._members:
             heapq.heappop(self._future)
         if self._future:
@@ -195,12 +239,11 @@ class NodePool:
         return None
 
     def idle_count(self, t: float) -> int:
-        """Idle nodes available right now (O(pool); stats/debug only)."""
+        """Idle nodes available right now (index size after a sweep)."""
         self._promote(t)
-        return sum(1 for ready in (self._ready_reg, self._ready_cloud)
-                   for n in ready
-                   if n.node_id in self._members and n.interval_at(t))
+        self._sweep_stale(t)
+        return len(self._ready_end_of)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (f"<NodePool size={self.size} reg~{len(self._ready_reg)} "
-                f"cloud~{len(self._ready_cloud)} future~{len(self._future)}>")
+        return (f"<NodePool size={self.size} ready={len(self._ready_end_of)} "
+                f"future~{len(self._future)}>")

@@ -198,9 +198,36 @@ class RenewalTraceGenerator:
         av = self.avail_dist.ppf(rng.random((n, k)))
         un = self.unavail_dist.ppf(rng.random((n, k)))
 
-        # Uniform layout: avail durations A[j], gap durations G[j]; for
-        # rows starting available the first avail period is `first`,
-        # otherwise the first gap is.
+        starts, ends = self._assemble_bulk(in_avail, first, t0, av, un)
+        covered = ends[:, -1] >= horizon
+        flat_s, flat_e, offsets = self._clip_rows(
+            starts[covered], ends[covered], horizon)
+
+        nodes: List[Node] = []
+        row = 0
+        for i in range(n):
+            if covered[i]:
+                s_arr = flat_s[offsets[row]:offsets[row + 1]]
+                e_arr = flat_e[offsets[row]:offsets[row + 1]]
+                row += 1
+            else:
+                s_arr, e_arr = self._node_schedule(rng, horizon)
+            nodes.append(Node(id_offset + i, float(powers[i]),
+                              s_arr, e_arr, tag=tag))
+        return nodes
+
+    @staticmethod
+    def _assemble_bulk(in_avail: np.ndarray, first: np.ndarray,
+                       t0: np.ndarray, av: np.ndarray, un: np.ndarray
+                       ) -> Tuple[np.ndarray, np.ndarray]:
+        """Durations → unclipped interval boundary matrices (pure math).
+
+        Uniform layout: avail durations A[j], gap durations G[j]; for
+        rows starting available the first avail period is ``first``,
+        otherwise the first gap is.  Split out so property tests can
+        pin the float association against a scalar reference walk.
+        """
+        n, k = av.shape
         ia = in_avail[:, None]
         A = np.where(ia, np.hstack([first[:, None], av[:, :k - 1]]), av)
         G = np.where(ia, un, np.hstack([first[:, None], un[:, :k - 1]]))
@@ -210,19 +237,26 @@ class RenewalTraceGenerator:
         exclG = np.hstack([np.zeros((n, 1)), cumG[:, :-1]])
         starts = t0[:, None] + exclA + np.where(ia, exclG, cumG)
         ends = starts + A
+        return starts, ends
 
-        covered = ends[:, -1] >= horizon
-        nodes: List[Node] = []
-        for i in range(n):
-            if covered[i]:
-                s_row, e_row = starts[i], ends[i]
-                keep = (e_row > 0.0) & (s_row < horizon)
-                s_arr = np.clip(s_row[keep], 0.0, None)
-                e_arr = np.minimum(e_row[keep], horizon)
-                ok = e_arr > s_arr
-                s_arr, e_arr = s_arr[ok], e_arr[ok]
-            else:
-                s_arr, e_arr = self._node_schedule(rng, horizon)
-            nodes.append(Node(id_offset + i, float(powers[i]),
-                              s_arr, e_arr, tag=tag))
-        return nodes
+    @staticmethod
+    def _clip_rows(starts: np.ndarray, ends: np.ndarray, horizon: float
+                   ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Clip boundary rows to [0, horizon) — all rows at once.
+
+        Replaces the historical per-row mask/clip loop with one
+        elementwise pass (same comparisons, same clip floats); returns
+        row-major flattened arrays plus per-row offsets, so row ``r``
+        owns ``flat[offsets[r]:offsets[r+1]]``.
+        """
+        if starts.size == 0:
+            empty = np.empty(0)
+            return empty, empty, np.zeros(starts.shape[0] + 1, dtype=np.int64)
+        clipped_s = np.clip(starts, 0.0, None)
+        clipped_e = np.minimum(ends, horizon)
+        keep = ((ends > 0.0) & (starts < horizon)
+                & (clipped_e > clipped_s))
+        counts = keep.sum(axis=1)
+        offsets = np.zeros(starts.shape[0] + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        return clipped_s[keep], clipped_e[keep], offsets

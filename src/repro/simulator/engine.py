@@ -15,6 +15,22 @@ clock.  The engine below is a classic event-heap:
   the callback is dropped when popped);
 * time never goes backwards; scheduling in the past raises.
 
+Same-timestamp coalescing: the heap holds *buckets* — one per
+``(time, priority)`` key — rather than individual events.  A volunteer
+DCI is bursty at scale (thousands of nodes churn on the same monitor
+tick), and with per-event heap entries every one of those k events
+pays an O(log n) sift; a bucket pays one sift and k list appends.
+Events append to their key's open bucket in ``seq`` order, so draining
+a bucket front-to-back replays the exact ``(time, priority, seq)``
+total order of the flat heap.  The one subtlety is a callback
+scheduling an event that must run *before* the remainder of the bucket
+being drained (same time, lower priority — e.g. a node death raised
+from a policy callback's own instant): before each event the drain
+loop compares the heap top against the event's key and, when the top
+precedes it, pushes the bucket remainder back and switches.  Same-key
+buckets can therefore coexist in the heap; their seq ranges are
+disjoint and ordered, so bucket ``first_seq`` ordering stays exact.
+
 There is deliberately no wall-clock access and no global state: one
 :class:`Simulation` per execution, so campaigns can run executions in
 parallel processes without interference.
@@ -79,6 +95,33 @@ PRIORITY_INFRA = -10
 PRIORITY_MONITOR = 10
 
 
+class _Bucket:
+    """All queued events sharing one ``(time, priority)`` key.
+
+    ``events`` is append-only and seq-sorted by construction (events
+    are created with a monotonic counter and appended immediately).
+    ``first_seq`` breaks heap ties between same-key buckets — their
+    seq ranges are disjoint (a remainder pushed back mid-drain always
+    precedes any bucket opened later), so comparing the first element
+    orders the whole lists.
+    """
+
+    __slots__ = ("time", "priority", "first_seq", "events")
+
+    def __init__(self, time: float, priority: int, first_seq: int):
+        self.time = time
+        self.priority = priority
+        self.first_seq = first_seq
+        self.events: list[Event] = []
+
+    def __lt__(self, other: "_Bucket") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        if self.priority != other.priority:
+            return self.priority < other.priority
+        return self.first_seq < other.first_seq
+
+
 class Simulation:
     """A single-threaded discrete-event simulator.
 
@@ -95,7 +138,13 @@ class Simulation:
             raise SimulationError("horizon must be positive")
         self.now: float = 0.0
         self.horizon = float(horizon)
-        self._heap: list[Event] = []
+        self._heap: list[_Bucket] = []
+        #: (time, priority) -> the bucket still accepting appends
+        self._open: dict[tuple[float, int], _Bucket] = {}
+        #: bucket currently being drained by run() (its remaining
+        #: events live outside the heap) + drain position
+        self._active: Optional[_Bucket] = None
+        self._active_idx = 0
         self._seq = itertools.count()
         self._running = False
         self._stopped = False
@@ -118,7 +167,13 @@ class Simulation:
             raise SimulationError(
                 f"cannot schedule at t={time!r} < now={self.now!r}")
         ev = Event(float(time), priority, next(self._seq), fn, args)
-        heapq.heappush(self._heap, ev)
+        key = (ev.time, priority)
+        bucket = self._open.get(key)
+        if bucket is None:
+            bucket = _Bucket(ev.time, priority, ev.seq)
+            self._open[key] = bucket
+            heapq.heappush(self._heap, bucket)
+        bucket.events.append(ev)
         return ev
 
     # ------------------------------------------------------------------
@@ -139,29 +194,77 @@ class Simulation:
         try:
             heap = self._heap
             while heap:
-                ev = heap[0]
-                if ev.time > limit:
+                bucket = heap[0]
+                if bucket.time > limit:
                     break
                 heapq.heappop(heap)
-                if ev.cancelled:
-                    continue
-                self.now = ev.time
-                self.events_processed += 1
-                ev.fn(*ev.args)
+                # Detach from appends: events scheduled at this key while
+                # it drains open a fresh bucket (their seqs are larger, so
+                # they run after the remainder — exact flat-heap order).
+                if self._open.get((bucket.time, bucket.priority)) is bucket:
+                    del self._open[(bucket.time, bucket.priority)]
+                self._drain(bucket, heap)
                 if self._stopped:
                     break
-            else:
-                # Heap drained: clock rests where the last event left it.
-                pass
-            if not self._stopped and (not heap or heap[0].time > limit):
-                # Advance to the bound only if explicitly bounded; a
-                # drained heap leaves `now` at the last event time so
-                # completion timestamps are exact.
-                if until is not None and limit > self.now and heap:
-                    self.now = limit
+            if not self._stopped and until is not None and limit > self.now \
+                    and (not heap or heap[0].time > limit):
+                # Bounded run with nothing left before the bound: the
+                # clock advances to the bound even on a drained heap, so
+                # phased callers (tick loops) see time move.  Unbounded
+                # runs still rest at the last event time so completion
+                # timestamps stay exact.
+                self.now = limit
             return self.now
         finally:
             self._running = False
+            self._active = None
+
+    def _drain(self, bucket: _Bucket, heap: list[_Bucket]) -> None:
+        """Run one bucket's events front-to-back (seq order).
+
+        Before each event, yields to the heap top if a callback queued
+        something that precedes the rest of this bucket (same time,
+        lower priority, or same key with smaller first_seq can't happen
+        — remainders keep the smallest seqs); the live remainder is
+        pushed back as its own bucket.  Also pushes the remainder back
+        on :meth:`stop` so a later run resumes mid-bucket correctly.
+        """
+        events = bucket.events
+        time, priority = bucket.time, bucket.priority
+        self._active = bucket
+        i = 0
+        n = len(events)  # fixed: detached buckets never grow
+        while i < n:
+            ev = events[i]
+            if ev.cancelled:
+                i += 1
+                self._active_idx = i
+                continue
+            if heap:
+                top = heap[0]
+                if (top.time, top.priority, top.first_seq) < \
+                        (time, priority, ev.seq):
+                    self._push_remainder(events, i)
+                    break
+            i += 1
+            self._active_idx = i
+            self.now = ev.time
+            self.events_processed += 1
+            ev.fn(*ev.args)
+            if self._stopped:
+                self._push_remainder(events, i)
+                break
+        self._active = None
+        self._active_idx = 0
+
+    def _push_remainder(self, events: list[Event], i: int) -> None:
+        """Re-queue the undrained tail of the active bucket."""
+        tail = [ev for ev in events[i:] if not ev.cancelled]
+        if not tail:
+            return
+        bucket = _Bucket(tail[0].time, tail[0].priority, tail[0].seq)
+        bucket.events = tail
+        heapq.heappush(self._heap, bucket)
 
     def stop(self) -> None:
         """Stop the current :meth:`run` after the active callback returns."""
@@ -177,22 +280,60 @@ class Simulation:
         :meth:`peek` pops from the top): a heap churned by
         cancellations used to keep every dead event in memory until
         its time came around.  The heap list object is mutated in
-        place — :meth:`run` holds an alias to it.
+        place — :meth:`run` holds an alias to it.  Mid-run, the
+        remainder of the bucket being drained counts too (those events
+        live outside the heap until re-queued).
         """
         heap = self._heap
-        live = [ev for ev in heap if not ev.cancelled]
-        if len(live) != len(heap):
-            heapq.heapify(live)
-            heap[:] = live
-        return len(heap)
+        live = [ev for b in heap for ev in b.events if not ev.cancelled]
+        if len(live) != sum(len(b.events) for b in heap):
+            # Rebuild one seq-sorted bucket per key; a sorted list is a
+            # valid heap, and merging same-key bucket splits is safe
+            # (their seq ranges are disjoint, the merge stays sorted).
+            live.sort(key=lambda ev: (ev.time, ev.priority, ev.seq))
+            buckets: list[_Bucket] = []
+            for ev in live:
+                if (not buckets or buckets[-1].time != ev.time
+                        or buckets[-1].priority != ev.priority):
+                    buckets.append(_Bucket(ev.time, ev.priority, ev.seq))
+                buckets[-1].events.append(ev)
+            heap[:] = buckets
+            self._open = {(b.time, b.priority): b for b in heap}
+        count = len(live)
+        if self._active is not None:
+            count += sum(1 for ev in self._active.events[self._active_idx:]
+                         if not ev.cancelled)
+        return count
 
     def peek(self) -> Optional[float]:
         """Time of the next live event, or None if the heap is drained."""
+        active = self._active
+        if active is not None and any(
+                not ev.cancelled
+                for ev in active.events[self._active_idx:]):
+            # Mid-run the drained bucket's tail lives outside the heap,
+            # and its time (== now) can't be beaten by anything queued.
+            return active.time
         heap = self._heap
-        while heap and heap[0].cancelled:
+        while heap:
+            bucket = heap[0]
+            events = bucket.events
+            skip = 0
+            while skip < len(events) and events[skip].cancelled:
+                skip += 1
+            if skip < len(events):
+                if skip:
+                    # Trimming cancelled leaders keeps same-key bucket
+                    # seq ranges disjoint, so heap order is unaffected.
+                    del events[:skip]
+                    bucket.first_seq = events[0].seq
+                return bucket.time
             heapq.heappop(heap)
-        return heap[0].time if heap else None
+            if self._open.get((bucket.time, bucket.priority)) is bucket:
+                del self._open[(bucket.time, bucket.priority)]
+        return None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (f"<Simulation t={self.now:.3f} pending={len(self._heap)} "
+        queued = sum(len(b.events) for b in self._heap)
+        return (f"<Simulation t={self.now:.3f} pending={queued} "
                 f"processed={self.events_processed}>")

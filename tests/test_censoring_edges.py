@@ -68,21 +68,32 @@ def test_federated_unadmitted_tenant_has_no_dci():
 
 
 # ------------------------------------------------------- empty-heap run()
-def test_run_until_with_empty_heap_is_a_noop():
+def test_run_until_with_empty_heap_advances_to_bound():
+    """Regression: a bounded run over a drained heap used to leave the
+    clock stale, so a phased caller (tick loop) saw time stand still."""
     sim = Simulation(horizon=1000.0)
-    assert sim.run(until=500.0) == 0.0
-    assert sim.now == 0.0
+    assert sim.run(until=500.0) == 500.0
+    assert sim.now == 500.0
     assert sim.events_processed == 0
 
 
-def test_run_until_after_heap_drains_keeps_last_event_time():
+def test_run_until_after_heap_drains_advances_to_bound():
     sim = Simulation(horizon=1000.0)
     sim.at(5.0, lambda: None)
-    # the heap drains at t=5; the clock rests there, not at the bound
-    assert sim.run(until=500.0) == 5.0
-    # a second bounded run over the now-empty heap stays put
-    assert sim.run(until=800.0) == 5.0
+    # the heap drains at t=5; the *bounded* run still reaches its bound
+    assert sim.run(until=500.0) == 500.0
+    # and phased calls keep advancing even with nothing queued
+    assert sim.run(until=800.0) == 800.0
     assert sim.pending() == 0
+
+
+def test_unbounded_run_rests_at_last_event_time():
+    sim = Simulation(horizon=1000.0)
+    sim.at(5.0, lambda: None)
+    # no explicit bound: the clock rests where the last event left it
+    # so completion timestamps stay exact
+    assert sim.run() == 5.0
+    assert sim.now == 5.0
 
 
 def test_run_with_only_cancelled_events_processes_nothing():

@@ -252,3 +252,110 @@ def test_pending_prune_inside_running_callback():
     sim.at(3.0, ran.append, "last")
     sim.run()
     assert ran == ["first", "last"]
+
+
+# ---------------------------------------------- same-timestamp coalescing
+def test_same_key_events_share_one_heap_entry():
+    """The point of coalescing: k same-(time, priority) events cost one
+    heap entry, not k."""
+    sim = Simulation()
+    for i in range(100):
+        sim.at(5.0, lambda: None)
+    assert len(sim._heap) == 1
+    sim.run()
+    assert sim.events_processed == 100
+
+
+def test_coalesced_events_preserve_priority_then_seq_order():
+    sim = Simulation()
+    log = []
+    sim.at(5.0, log.append, "m1", priority=PRIORITY_MONITOR)
+    sim.at(5.0, log.append, "n1")
+    sim.at(5.0, log.append, "i1", priority=PRIORITY_INFRA)
+    sim.at(5.0, log.append, "n2")
+    sim.at(5.0, log.append, "m2", priority=PRIORITY_MONITOR)
+    sim.at(5.0, log.append, "i2", priority=PRIORITY_INFRA)
+    sim.run()
+    assert log == ["i1", "i2", "n1", "n2", "m1", "m2"]
+
+
+def test_same_time_lower_priority_scheduled_mid_drain_preempts_rest():
+    """A callback raising an infra event at its own instant must see it
+    run before the remaining same-time normal events — the exact
+    (time, priority, seq) order a flat heap would produce."""
+    sim = Simulation()
+    log = []
+
+    def normal(i):
+        log.append(("n", i))
+        if i == 0:
+            sim.at(5.0, lambda: log.append(("infra",)),
+                   priority=PRIORITY_INFRA)
+
+    for i in range(3):
+        sim.at(5.0, normal, i)
+    sim.run()
+    assert log == [("n", 0), ("infra",), ("n", 1), ("n", 2)]
+
+
+def test_same_key_event_scheduled_mid_drain_runs_after_the_bucket():
+    """Same time, same priority, scheduled from inside the bucket being
+    drained: its seq is larger, so it runs after the existing events."""
+    sim = Simulation()
+    log = []
+
+    def first():
+        log.append("first")
+        sim.at(5.0, log.append, "late")
+
+    sim.at(5.0, first)
+    sim.at(5.0, log.append, "second")
+    sim.run()
+    assert log == ["first", "second", "late"]
+
+
+def test_stop_mid_bucket_resumes_in_order():
+    sim = Simulation()
+    log = []
+    sim.at(5.0, log.append, "a")
+    sim.at(5.0, lambda: (log.append("b"), sim.stop()))
+    sim.at(5.0, log.append, "c")
+    sim.at(6.0, log.append, "d")
+    sim.run()
+    assert log == ["a", "b"]
+    sim.run()
+    assert log == ["a", "b", "c", "d"]
+
+
+def test_cancel_mid_bucket_skips_without_firing():
+    sim = Simulation()
+    log = []
+    victims = []
+
+    def first():
+        log.append("first")
+        for v in victims:
+            v.cancel()
+
+    sim.at(5.0, first)
+    victims.append(sim.at(5.0, log.append, "victim1"))
+    sim.at(5.0, log.append, "kept")
+    victims.append(sim.at(5.0, log.append, "victim2"))
+    sim.run()
+    assert log == ["first", "kept"]
+    assert sim.events_processed == 2
+
+
+def test_run_until_drained_heap_advances_clock_to_bound():
+    """Regression (phased service loops): a bounded run over an empty
+    heap must advance `now` to the bound, not stand still."""
+    sim = Simulation()
+    sim.at(1.0, lambda: None)
+    sim.run()
+    assert sim.now == 1.0
+    assert sim.run(until=10.0) == 10.0
+    assert sim.now == 10.0
+    # events remain schedulable at the advanced clock
+    sim.at(10.5, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.at(9.0, lambda: None)

@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.infra.node import Node
 from repro.infra.pool import NodePool
@@ -165,3 +167,113 @@ def test_selection_is_seed_deterministic():
         return [pool.acquire(0.0)[0].node_id for _ in range(20)]
     assert draw(5) == draw(5)
     assert draw(5) != draw(6)
+
+
+def test_has_ready_refiles_stale_entries():
+    """Regression: has_ready used to detect stale ready entries but
+    leave them in place — repeated polls rescanned dead entries and a
+    stale node masked the true next wake-up time."""
+    pool = NodePool([volatile(1, [0, 200], [100, 300])], rng=rng())
+    assert pool.has_ready(10.0)
+    assert not pool.has_ready(150.0)    # stale entry swept...
+    assert pool._ready_end_of == {}     # ...out of the ready index
+    assert pool.next_future_start(150.0) == 200.0  # refiled, not lost
+    assert pool.has_ready(250.0)        # and promoted back on time
+
+
+def test_idle_count_sweeps_instead_of_rescanning():
+    pool = NodePool([volatile(1, [0], [100]),
+                     volatile(2, [0, 400], [50, 500]),
+                     volatile(3, [600], [700])], rng=rng())
+    assert pool.idle_count(10.0) == 2
+    assert pool.idle_count(75.0) == 1   # node 2 expired and was refiled
+    assert pool.idle_count(450.0) == 1  # ...then came back
+    assert pool.idle_count(650.0) == 1  # node 3 promoted
+
+
+# --------------------------------------------------- partition invariant
+class PoolModel:
+    """Drives a NodePool through random ops, tracking busy ownership."""
+
+    def __init__(self, node_specs, seed):
+        self.nodes = []
+        for nid, intervals in enumerate(node_specs):
+            starts = [float(s) for s, _ in intervals]
+            ends = [float(e) for _, e in intervals]
+            self.nodes.append(volatile(nid, starts, ends))
+        self.pool = NodePool(self.nodes, rng=rng(seed))
+        self.busy = {}  # node_id -> Node acquired and not yet returned
+        self.t = 0.0
+
+    def check_partition(self):
+        """ready ∪ future ∪ busy partitions the membership set."""
+        pool = self.pool
+        ready = set(pool._ready_end_of)
+        future = {nid for _, nid, _, _ in pool._future
+                  if nid in pool._members}
+        busy = {nid for nid in self.busy if nid in pool._members}
+        assert ready | future | busy == pool._members
+        assert not ready & future
+        assert not ready & busy
+        assert not future & busy
+        assert pool.size == len(pool._members)
+        # every filed-ready node's interval genuinely covers no earlier
+        # end than recorded (ends only go stale forward in time)
+        for nid, (end, node) in pool._ready_end_of.items():
+            assert node.node_id == nid
+
+    def step(self, op, dt):
+        self.t += dt
+        pool, t = self.pool, self.t
+        if op == 0:
+            got = pool.acquire(t)
+            if got is not None:
+                node, end = got
+                assert end > t
+                assert node.node_id not in self.busy
+                self.busy[node.node_id] = node
+        elif op == 1 and self.busy:
+            nid = sorted(self.busy)[0]
+            pool.release(self.busy.pop(nid), t)
+        elif op == 2 and self.busy:
+            nid = sorted(self.busy)[-1]
+            pool.preempted(self.busy.pop(nid), t)
+        elif op == 3:
+            pool.has_ready(t)
+        elif op == 4:
+            pool.idle_count(t)
+        elif op == 5:
+            pool.next_future_start(t)
+        elif op == 6 and pool._members:
+            nid = sorted(pool._members)[0]
+            pool.remove(self.nodes[nid])
+            self.busy.pop(nid, None)
+        self.check_partition()
+
+
+interval_sets = st.lists(
+    st.lists(st.tuples(st.integers(0, 400), st.integers(1, 80)),
+             min_size=1, max_size=4),
+    min_size=1, max_size=6)
+
+
+@settings(max_examples=60, deadline=None)
+@given(specs=interval_sets, seed=st.integers(0, 2**16),
+       ops=st.lists(st.tuples(st.integers(0, 6), st.integers(0, 40)),
+                    min_size=1, max_size=40))
+def test_ready_future_busy_partition_members(specs, seed, ops):
+    """After any operation sequence, every member node is in exactly
+    one of: the ready index, the future heap, or busy (acquired)."""
+    node_specs = []
+    for raw in specs:
+        t, intervals = 0, []
+        for gap, length in raw:
+            start = t + gap
+            end = start + length
+            intervals.append((start, end))
+            t = end
+        node_specs.append(intervals)
+    model = PoolModel(node_specs, seed)
+    model.check_partition()
+    for op, dt in ops:
+        model.step(op, float(dt))
