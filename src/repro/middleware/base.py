@@ -96,9 +96,18 @@ class TaskState:
 
 
 class _BotProgress:
-    """Per-BoT completion accounting."""
+    """Per-BoT completion accounting and task index.
 
-    __slots__ = ("bot", "total", "arrived", "completed", "submit_time")
+    ``uncompleted`` keeps the BoT's arrived-but-not-done gtids in
+    arrival order (a dict used as an ordered set) and ``assigned``
+    counts tasks assigned at least once — both are maintained
+    incrementally so the monitor-tick queries
+    (:meth:`DGServer.uncompleted_gtids`, :meth:`DGServer.
+    assigned_count`) stop scanning every task the server ever hosted.
+    """
+
+    __slots__ = ("bot", "total", "arrived", "completed", "submit_time",
+                 "uncompleted", "assigned")
 
     def __init__(self, bot: BagOfTasks, submit_time: float):
         self.bot = bot
@@ -106,6 +115,10 @@ class _BotProgress:
         self.arrived = 0
         self.completed = 0
         self.submit_time = submit_time
+        #: arrived, not-yet-done gtids in arrival order (ordered set)
+        self.uncompleted: Dict[GTID, None] = {}
+        #: tasks with a first_assign_time
+        self.assigned = 0
 
 
 class DGServer:
@@ -119,6 +132,10 @@ class DGServer:
         Label used in diagnostics.
     """
 
+    #: observer callbacks dispatched through pre-bound method lists
+    OBSERVER_EVENTS = ("on_task_arrived", "on_task_first_assigned",
+                       "on_task_completed", "on_bot_completed")
+
     def __init__(self, sim: Simulation, pool: NodePool, name: str = "dg"):
         self.sim = sim
         self.pool = pool
@@ -127,6 +144,10 @@ class DGServer:
         self.tasks: Dict[GTID, TaskState] = {}
         self.pending: Deque = deque()
         self.observers: List[ServerObserver] = []
+        #: event name -> bound observer methods (built in add_observer,
+        #: so _emit never pays a getattr per event per observer)
+        self._obs_methods: Dict[str, List] = {
+            name: [] for name in self.OBSERVER_EVENTS}
         self._bots: Dict[str, _BotProgress] = {}
         self._busy: Dict[int, GTID] = {}          # node_id -> gtid
         self._wakeup: Optional[Event] = None
@@ -139,6 +160,10 @@ class DGServer:
         #: CPU actually used, §3.3's "Cloud worker usage")
         self._cloud_busy_acc: Dict[int, float] = {}
         self._cloud_busy_since: Dict[int, float] = {}
+        # A submitted BoT's simultaneous arrivals (the paper's SMALL/BIG
+        # categories all arrive at t=0) drain as one engine batch call
+        # instead of thousands of per-event dispatches.
+        sim.register_batch(self._arrive, self._arrive_batch)
 
     # ------------------------------------------------------------------
     # load probes (federated routing, repro.core.routing)
@@ -163,15 +188,32 @@ class DGServer:
             self.sim.at(at + task.arrival, self._arrive, bot.bot_id, task)
 
     def _arrive(self, bot_id: str, task: Task) -> None:
+        self._arrive_one(bot_id, task)
+        self._dispatch()
+
+    def _arrive_one(self, bot_id: str, task: Task) -> None:
         t = self.sim.now
         gtid = (bot_id, task.task_id)
         st = TaskState(gtid=gtid, task=task, arrival_time=t)
         self.tasks[gtid] = st
-        self._bots[bot_id].arrived += 1
+        prog = self._bots[bot_id]
+        prog.arrived += 1
+        prog.uncompleted[gtid] = None
         self.stats.arrivals += 1
         self._emit("on_task_arrived", gtid, t)
         self._enqueue_new(st)
-        self._dispatch()
+
+    def _arrive_batch(self, argslist) -> None:
+        """Batched form of :meth:`_arrive` (same instant, seq order).
+
+        Replays the per-event body per args tuple — exact by
+        construction.  Subclasses whose dispatch order provably cannot
+        depend on interleaving (XWHEP's node-agnostic FIFO pick)
+        override this with a single merged dispatch.
+        """
+        for bot_id, task in argslist:
+            self._arrive_one(bot_id, task)
+            self._dispatch()
 
     # ------------------------------------------------------------------
     # hooks for subclasses
@@ -256,6 +298,9 @@ class DGServer:
         self._busy[node.node_id] = st.gtid
         if st.first_assign_time is None:
             st.first_assign_time = t
+            prog = self._bots.get(st.gtid[0])
+            if prog is not None:
+                prog.assigned += 1
             self._emit("on_task_first_assigned", st.gtid, t)
 
     def _node_freed(self, node: Node) -> None:
@@ -298,6 +343,7 @@ class DGServer:
         prog = self._bots.get(st.gtid[0])
         if prog is not None:
             prog.completed += 1
+            prog.uncompleted.pop(st.gtid, None)
             if prog.completed == prog.total:
                 self._emit("on_bot_completed", st.gtid[0], t)
 
@@ -344,21 +390,32 @@ class DGServer:
         return prog.completed == prog.total
 
     def uncompleted_gtids(self, bot_id: str) -> List[GTID]:
-        """Tasks of the BoT not yet done (arrived ones only)."""
-        return [gtid for gtid, st in self.tasks.items()
-                if gtid[0] == bot_id and not st.done]
+        """Tasks of the BoT not yet done (arrived ones only).
+
+        Served from the per-BoT index in arrival order — the same
+        sequence the historical scan over ``tasks`` produced — so the
+        cloud-duplication queue order is unchanged.
+        """
+        prog = self._bots.get(bot_id)
+        if prog is None:
+            return []
+        return list(prog.uncompleted)
 
     def assigned_count(self, bot_id: str) -> int:
         """Tasks of the BoT that were assigned at least once."""
-        return sum(1 for gtid, st in self.tasks.items()
-                   if gtid[0] == bot_id and st.first_assign_time is not None)
+        prog = self._bots.get(bot_id)
+        return prog.assigned if prog is not None else 0
 
     # ------------------------------------------------------------------
     def add_observer(self, obs: ServerObserver) -> None:
+        """Subscribe; the observer's methods are bound once, here —
+        methods added to the object afterwards are not seen."""
         self.observers.append(obs)
+        for name, lst in self._obs_methods.items():
+            fn = getattr(obs, name, None)
+            if fn is not None:
+                lst.append(fn)
 
     def _emit(self, method: str, *args) -> None:
-        for obs in self.observers:
-            fn = getattr(obs, method, None)
-            if fn is not None:
-                fn(*args)
+        for fn in self._obs_methods[method]:
+            fn(*args)

@@ -77,6 +77,15 @@ class BoincServer(DGServer):
         self.config = config or BoincConfig()
         #: incomplete workunits, for cloud duplication candidate scans
         self._incomplete: set[TaskState] = set()
+        # The big same-instant producers: every replica assigned during
+        # an arrival storm schedules its delay_bound timer at the same
+        # future instant, and node churn lands suspend/resume waves on
+        # shared ticks.  The handlers replay the per-event body in seq
+        # order (exact by construction); batching removes the engine's
+        # per-event dispatch overhead for these buckets.
+        sim.register_batch(self._timeout, self._timeout_batch)
+        sim.register_batch(self._suspend, self._suspend_batch)
+        sim.register_batch(self._resume, self._resume_batch)
 
     # ------------------------------------------------------------------
     # base hooks
@@ -171,6 +180,39 @@ class BoincServer(DGServer):
                 self._incomplete.discard(wu)
         self.pool.release(rep.node, t)
         self._dispatch()
+
+    def _arrive_batch(self, argslist) -> None:
+        """Arrival storm; merged dispatch when the queue starts empty.
+
+        With no earlier pending workunits, every unit in the merged
+        queue is fresh, so by induction no drawn node can sit in any
+        workunit's ``workers`` set (a node only re-enters the pool via
+        a set-aside, which requires an ineligible draw first) — the
+        eligibility scan always matches the first live unit, exactly as
+        it would under per-arrival dispatch, and the RNG draw sequence
+        is the per-arrival concatenation.  With older units already
+        queued the one-result-per-user scan can set a node aside under
+        one queue shape but match it under the other, so the exact
+        per-event replay from the base class runs instead.
+        """
+        if self.pending:
+            super()._arrive_batch(argslist)
+            return
+        for bot_id, task in argslist:
+            self._arrive_one(bot_id, task)
+        self._dispatch()
+
+    def _suspend_batch(self, argslist) -> None:
+        for (rep,) in argslist:
+            self._suspend(rep)
+
+    def _resume_batch(self, argslist) -> None:
+        for (rep,) in argslist:
+            self._resume(rep)
+
+    def _timeout_batch(self, argslist) -> None:
+        for (rep,) in argslist:
+            self._timeout(rep)
 
     def _timeout(self, rep: _Replica) -> None:
         """``delay_bound`` elapsed with no result: write the replica off

@@ -50,6 +50,12 @@ class XWHepServer(DGServer):
         self.config = config or XWHepConfig()
         #: incomplete tasks, for cloud duplication candidate scans
         self._incomplete: set[TaskState] = set()
+        # Same-instant preemption waves (a DCI-wide availability edge
+        # kills many pilot jobs at once) and the detection tick 900 s
+        # later batch through the engine; handlers replay the per-event
+        # body in seq order, which is exact by construction.
+        sim.register_batch(self._preempt, self._preempt_batch)
+        sim.register_batch(self._detect, self._detect_batch)
 
     # ------------------------------------------------------------------
     # base hooks
@@ -109,6 +115,35 @@ class XWHepServer(DGServer):
             st.cloud_dups -= 1
         self.pool.preempted(node, t)
         self.sim.schedule(self.config.worker_timeout, self._detect, st)
+        self._dispatch()
+
+    def _preempt_batch(self, argslist) -> None:
+        for args in argslist:
+            self._preempt(*args)
+
+    def _detect_batch(self, argslist) -> None:
+        for (st,) in argslist:
+            self._detect(st)
+
+    # ------------------------------------------------------------------
+    def _arrive_batch(self, argslist) -> None:
+        """Arrival storm with one merged dispatch.
+
+        Exactness argument: XWHEP's :meth:`_pick_unit` ignores the node
+        (FIFO popleft), so the (node draw, task) pairing of one
+        dispatch over the concatenated queue is exactly the
+        concatenation of the per-arrival dispatches — the pool's RNG
+        draw sequence, the assignment order and every scheduled
+        lifecycle event (and its seq) are identical.  Once the pool
+        runs dry mid-storm, both shapes make zero further draws
+        (``acquire`` returns None only with empty draw lists) and arm
+        the same single wake-up.  BOINC cannot share this shortcut: its
+        one-result-per-user eligibility scan can set a drawn node aside
+        under one pending queue but match it under the merged one,
+        which shifts the draw sequence.
+        """
+        for bot_id, task in argslist:
+            self._arrive_one(bot_id, task)
         self._dispatch()
 
     def _detect(self, st: TaskState) -> None:

@@ -30,6 +30,33 @@ loop compares the heap top against the event's key and, when the top
 precedes it, pushes the bucket remainder back and switches.  Same-key
 buckets can therefore coexist in the heap; their seq ranges are
 disjoint and ordered, so bucket ``first_seq`` ordering stays exact.
+Heap entries are plain ``(time, priority, first_seq, bucket)`` tuples
+— ``first_seq`` is globally unique, so every heap comparison resolves
+in C without ever touching the bucket object.
+
+Batched dispatch: a drained bucket whose consecutive events share one
+callable can be handed to a *batch handler* registered via
+:meth:`Simulation.register_batch` — one Python call with the argument
+list instead of k calls.  The contract (enforced, not assumed) is that
+the batch call must be indistinguishable from running the k events
+front-to-back:
+
+* the run is maximal-consecutive: an interleaved event with a
+  different callable splits the batch, preserving seq order;
+* events cancelled before the run starts are excluded exactly like the
+  per-event path skips them;
+* a batch handler must not cancel an event inside its own run (the
+  per-event path could honour it mid-way; the engine checks after the
+  call and raises), must not :meth:`stop` the simulation (per-event
+  stop() halts mid-bucket; raises immediately), and must not schedule
+  a same-time *higher-urgency* event (the per-event path would preempt
+  the remainder of the run; :meth:`at` raises).  Handlers that need
+  any of those behaviours simply stay unregistered and keep exact
+  per-event dispatch.
+* ``events_processed`` counts every event of the run; ``now`` is the
+  bucket time throughout.  Mid-batch introspection (``pending()``)
+  sees the whole run as already consumed — handlers that introspect
+  the queue should not be batch-registered.
 
 There is deliberately no wall-clock access and no global state: one
 :class:`Simulation` per execution, so campaigns can run executions in
@@ -41,7 +68,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 __all__ = ["Event", "Simulation", "SimulationError"]
 
@@ -100,26 +127,24 @@ class _Bucket:
 
     ``events`` is append-only and seq-sorted by construction (events
     are created with a monotonic counter and appended immediately).
-    ``first_seq`` breaks heap ties between same-key buckets — their
-    seq ranges are disjoint (a remainder pushed back mid-drain always
-    precedes any bucket opened later), so comparing the first element
-    orders the whole lists.
+    The bucket's heap entry carries ``first_seq`` to break ties between
+    same-key buckets — their seq ranges are disjoint (a remainder
+    pushed back mid-drain always precedes any bucket opened later), so
+    comparing the first element orders the whole lists.  Trimming
+    cancelled leaders (:meth:`Simulation.peek`) keeps ranges within
+    their original bounds, so the frozen entry seq stays order-exact.
     """
 
-    __slots__ = ("time", "priority", "first_seq", "events")
+    __slots__ = ("time", "priority", "events")
 
-    def __init__(self, time: float, priority: int, first_seq: int):
+    def __init__(self, time: float, priority: int):
         self.time = time
         self.priority = priority
-        self.first_seq = first_seq
         self.events: list[Event] = []
 
-    def __lt__(self, other: "_Bucket") -> bool:
-        if self.time != other.time:
-            return self.time < other.time
-        if self.priority != other.priority:
-            return self.priority < other.priority
-        return self.first_seq < other.first_seq
+
+#: heap entry: (time, priority, first_seq, bucket) — compared in C
+_HeapEntry = Tuple[float, int, int, _Bucket]
 
 
 class Simulation:
@@ -138,7 +163,7 @@ class Simulation:
             raise SimulationError("horizon must be positive")
         self.now: float = 0.0
         self.horizon = float(horizon)
-        self._heap: list[_Bucket] = []
+        self._heap: list[_HeapEntry] = []
         #: (time, priority) -> the bucket still accepting appends
         self._open: dict[tuple[float, int], _Bucket] = {}
         #: bucket currently being drained by run() (its remaining
@@ -148,6 +173,9 @@ class Simulation:
         self._seq = itertools.count()
         self._running = False
         self._stopped = False
+        self._in_batch = False
+        #: callable -> batch handler (see register_batch)
+        self._batch: Dict[Callable[..., Any], Callable[[list], Any]] = {}
         self.events_processed = 0
 
     # ------------------------------------------------------------------
@@ -166,15 +194,59 @@ class Simulation:
         if time < self.now:
             raise SimulationError(
                 f"cannot schedule at t={time!r} < now={self.now!r}")
+        if self._in_batch:
+            active = self._active
+            if time == active.time and priority < active.priority:
+                raise SimulationError(
+                    f"batch handler for {fn!r} scheduled a same-time "
+                    f"higher-urgency event (priority {priority} < "
+                    f"{active.priority}); per-event dispatch would preempt "
+                    "the rest of the batch — unregister the batch handler")
         ev = Event(float(time), priority, next(self._seq), fn, args)
         key = (ev.time, priority)
         bucket = self._open.get(key)
         if bucket is None:
-            bucket = _Bucket(ev.time, priority, ev.seq)
+            bucket = _Bucket(ev.time, priority)
             self._open[key] = bucket
-            heapq.heappush(self._heap, bucket)
+            heapq.heappush(self._heap, (ev.time, priority, ev.seq, bucket))
         bucket.events.append(ev)
         return ev
+
+    def schedule_batch(self, delay: float, fn: Callable[..., Any],
+                       argslist: Sequence[tuple],
+                       priority: int = PRIORITY_NORMAL) -> List[Event]:
+        """Schedule ``fn(*args)`` once per args tuple, all at one instant.
+
+        The events share one ``(time, priority)`` bucket in seq order,
+        so a batch handler registered for ``fn`` receives them as a
+        single call when the bucket drains.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay!r}")
+        t = self.now + delay
+        return [self.at(t, fn, *args, priority=priority)
+                for args in argslist]
+
+    # ------------------------------------------------------------------
+    # batch-handler registry
+    # ------------------------------------------------------------------
+    def register_batch(self, fn: Callable[..., Any],
+                       batch_fn: Callable[[list], Any]) -> None:
+        """Register ``batch_fn(argslist)`` as the batched form of ``fn``.
+
+        When a drained bucket holds two or more consecutive live events
+        for ``fn``, the engine makes one ``batch_fn([args, ...])`` call
+        (args tuples in seq order) instead of per-event calls.  The
+        handler must be observationally identical to running the events
+        one by one — see the module docstring for the enforced contract.
+        Bound methods are fine as keys (they hash by instance+function).
+        """
+        if not callable(fn) or not callable(batch_fn):
+            raise SimulationError("register_batch expects two callables")
+        self._batch[fn] = batch_fn
+
+    def unregister_batch(self, fn: Callable[..., Any]) -> None:
+        self._batch.pop(fn, None)
 
     # ------------------------------------------------------------------
     # execution
@@ -194,20 +266,20 @@ class Simulation:
         try:
             heap = self._heap
             while heap:
-                bucket = heap[0]
-                if bucket.time > limit:
+                if heap[0][0] > limit:
                     break
-                heapq.heappop(heap)
+                bucket = heapq.heappop(heap)[3]
                 # Detach from appends: events scheduled at this key while
                 # it drains open a fresh bucket (their seqs are larger, so
                 # they run after the remainder — exact flat-heap order).
-                if self._open.get((bucket.time, bucket.priority)) is bucket:
-                    del self._open[(bucket.time, bucket.priority)]
+                key = (bucket.time, bucket.priority)
+                if self._open.get(key) is bucket:
+                    del self._open[key]
                 self._drain(bucket, heap)
                 if self._stopped:
                     break
             if not self._stopped and until is not None and limit > self.now \
-                    and (not heap or heap[0].time > limit):
+                    and (not heap or heap[0][0] > limit):
                 # Bounded run with nothing left before the bound: the
                 # clock advances to the bound even on a drained heap, so
                 # phased callers (tick loops) see time move.  Unbounded
@@ -219,7 +291,7 @@ class Simulation:
             self._running = False
             self._active = None
 
-    def _drain(self, bucket: _Bucket, heap: list[_Bucket]) -> None:
+    def _drain(self, bucket: _Bucket, heap: list) -> None:
         """Run one bucket's events front-to-back (seq order).
 
         Before each event, yields to the heap top if a callback queued
@@ -228,10 +300,18 @@ class Simulation:
         — remainders keep the smallest seqs); the live remainder is
         pushed back as its own bucket.  Also pushes the remainder back
         on :meth:`stop` so a later run resumes mid-bucket correctly.
+
+        Consecutive live events sharing a batch-registered callable are
+        collapsed into one handler call; the heap-top check before the
+        run covers every event in it, because nothing a contract-abiding
+        batch handler schedules can precede the run's own key (same-time
+        higher-urgency scheduling raises in :meth:`at`, and same-key
+        events get strictly larger seqs).
         """
         events = bucket.events
         time, priority = bucket.time, bucket.priority
         self._active = bucket
+        batch_table = self._batch
         i = 0
         n = len(events)  # fixed: detached buckets never grow
         while i < n:
@@ -242,15 +322,48 @@ class Simulation:
                 continue
             if heap:
                 top = heap[0]
-                if (top.time, top.priority, top.first_seq) < \
-                        (time, priority, ev.seq):
+                tt = top[0]
+                if tt < time or (tt == time and (
+                        top[1] < priority
+                        or (top[1] == priority and top[2] < ev.seq))):
                     self._push_remainder(events, i)
                     break
+            fn = ev.fn
+            if batch_table and i + 1 < n:
+                batch_fn = batch_table.get(fn)
+                if batch_fn is not None:
+                    # Maximal consecutive run of live events for fn
+                    # (interior cancelled events are skipped exactly like
+                    # the per-event path skips them).
+                    j = i + 1
+                    while j < n and (events[j].cancelled
+                                     or events[j].fn == fn):
+                        j += 1
+                    run = [e for e in events[i:j] if not e.cancelled]
+                    if len(run) > 1:
+                        i = j
+                        self._active_idx = j
+                        self.now = time
+                        self.events_processed += len(run)
+                        self._in_batch = True
+                        try:
+                            batch_fn([e.args for e in run])
+                        finally:
+                            self._in_batch = False
+                        for e in run:
+                            if e.cancelled:
+                                raise SimulationError(
+                                    f"batch handler for {fn!r} cancelled "
+                                    f"{e!r} inside its own batch; the "
+                                    "per-event path would have honoured "
+                                    "the cancellation mid-run — "
+                                    "unregister the batch handler")
+                        continue
             i += 1
             self._active_idx = i
             self.now = ev.time
             self.events_processed += 1
-            ev.fn(*ev.args)
+            fn(*ev.args)
             if self._stopped:
                 self._push_remainder(events, i)
                 break
@@ -262,12 +375,19 @@ class Simulation:
         tail = [ev for ev in events[i:] if not ev.cancelled]
         if not tail:
             return
-        bucket = _Bucket(tail[0].time, tail[0].priority, tail[0].seq)
+        first = tail[0]
+        bucket = _Bucket(first.time, first.priority)
         bucket.events = tail
-        heapq.heappush(self._heap, bucket)
+        heapq.heappush(self._heap,
+                       (first.time, first.priority, first.seq, bucket))
 
     def stop(self) -> None:
         """Stop the current :meth:`run` after the active callback returns."""
+        if self._in_batch:
+            raise SimulationError(
+                "stop() called from inside a batch handler; the per-event "
+                "path would halt mid-bucket — unregister the batch handler "
+                "for callbacks that may stop the simulation")
         self._stopped = True
 
     # ------------------------------------------------------------------
@@ -285,20 +405,22 @@ class Simulation:
         live outside the heap until re-queued).
         """
         heap = self._heap
-        live = [ev for b in heap for ev in b.events if not ev.cancelled]
-        if len(live) != sum(len(b.events) for b in heap):
-            # Rebuild one seq-sorted bucket per key; a sorted list is a
-            # valid heap, and merging same-key bucket splits is safe
+        live = [ev for _, _, _, b in heap for ev in b.events
+                if not ev.cancelled]
+        if len(live) != sum(len(b.events) for _, _, _, b in heap):
+            # Rebuild one seq-sorted bucket per key; a sorted entry list
+            # is a valid heap, and merging same-key bucket splits is safe
             # (their seq ranges are disjoint, the merge stays sorted).
             live.sort(key=lambda ev: (ev.time, ev.priority, ev.seq))
             buckets: list[_Bucket] = []
             for ev in live:
                 if (not buckets or buckets[-1].time != ev.time
                         or buckets[-1].priority != ev.priority):
-                    buckets.append(_Bucket(ev.time, ev.priority, ev.seq))
+                    buckets.append(_Bucket(ev.time, ev.priority))
                 buckets[-1].events.append(ev)
-            heap[:] = buckets
-            self._open = {(b.time, b.priority): b for b in heap}
+            heap[:] = [(b.events[0].time, b.priority, b.events[0].seq, b)
+                       for b in buckets]
+            self._open = {(b.time, b.priority): b for b in buckets}
         count = len(live)
         if self._active is not None:
             count += sum(1 for ev in self._active.events[self._active_idx:]
@@ -316,7 +438,7 @@ class Simulation:
             return active.time
         heap = self._heap
         while heap:
-            bucket = heap[0]
+            bucket = heap[0][3]
             events = bucket.events
             skip = 0
             while skip < len(events) and events[skip].cancelled:
@@ -324,9 +446,9 @@ class Simulation:
             if skip < len(events):
                 if skip:
                     # Trimming cancelled leaders keeps same-key bucket
-                    # seq ranges disjoint, so heap order is unaffected.
+                    # seq ranges inside their original bounds, so the
+                    # frozen entry first_seq still orders the heap.
                     del events[:skip]
-                    bucket.first_seq = events[0].seq
                 return bucket.time
             heapq.heappop(heap)
             if self._open.get((bucket.time, bucket.priority)) is bucket:
@@ -334,6 +456,6 @@ class Simulation:
         return None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        queued = sum(len(b.events) for b in self._heap)
+        queued = sum(len(b.events) for _, _, _, b in self._heap)
         return (f"<Simulation t={self.now:.3f} pending={queued} "
                 f"processed={self.events_processed}>")
