@@ -60,7 +60,8 @@ def pytest_terminal_summary(terminalreporter):
     # engine scale sweep (latest record written by test_bench_engine)
     bench_json = _BENCH_DIR / "results" / "BENCH_engine.json"
     if bench_json.exists():
-        sweep = json.loads(bench_json.read_text()).get("scale_sweep")
+        record = json.loads(bench_json.read_text())
+        sweep = record.get("scale_sweep")
         if sweep:
             terminalreporter.write_line("engine scale sweep:")
             terminalreporter.write_line(
@@ -72,6 +73,17 @@ def pytest_terminal_summary(terminalreporter):
                     f"  {point['events_per_second']:>10,.0f}"
                     f"  {point['wall_seconds']:>8.2f}"
                     f"  {point['peak_rss_kb'] / 1024:>11,.0f}")
+        # Algorithm 2 tick cost of the profiled 10^5-node run (PR 9)
+        sched = record.get("scheduler")
+        if sched:
+            terminalreporter.write_line(
+                f"scheduler tick (10^5 profile): {sched['ticks']:,} "
+                f"ticks at {sched['mean_tick_us']:,.0f}us, "
+                f"{sched['charges']:,} charges "
+                f"({sched['charges_per_second']:,.0f}/s), "
+                f"{sched['static_rate_hits']:,} static-rate hits, "
+                f"{sched['scalar_fallbacks']} scalar fallbacks, "
+                f"{sched['profile_share']:.1%} of run wall")
 
 
 @pytest.fixture(scope="session")

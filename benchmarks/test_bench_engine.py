@@ -16,6 +16,7 @@ perf record CI uploads as an artifact:
 """
 
 import cProfile
+import gc
 import io
 import json
 import os
@@ -23,6 +24,9 @@ import pstats
 import resource
 import time
 
+from repro.core.scheduler import SCHED_TELEMETRY, reset_sched_telemetry
+from repro.economics.billing import BILLING_STATS, reset_billing_stats
+from repro.economics.pricing import RATE_STATS, reset_rate_stats
 from repro.experiments import (
     DCISpec,
     ExecutionConfig,
@@ -43,9 +47,15 @@ WARM_SHARDS = 4
 
 #: events/sec of the 10^4-node seti/boinc/SMALL execution recorded at
 #: the PR 6 seed (benchmarks/results/BENCH_engine.json@PR6).  The hard
-#: gate is "no regression versus the recorded seed"; the achieved
-#: multiple is recorded in the JSON (acceptance target: >= 2x).
+#: gate was "no regression versus the recorded seed" through PR 8; the
+#: columnar billing ledger (PR 9) raised it to 1.25x the seed.
 PR6_EVENTS_PER_SEC = 36_577.9
+
+#: warm throughput hard gate, as a multiple of the recorded PR 6 seed.
+#: PR 9 vectorized Algorithm 2 (columnar ledger + static-rate fast
+#: path + O(1) counters), so a regression back under 1.25x the seed
+#: means the fast path silently disengaged.
+GATE_MULTIPLIER = 1.25
 
 #: warm reference-execution repetitions; the best repetition is the
 #: throughput record (single-shot walls on shared CI boxes are noisy)
@@ -162,18 +172,35 @@ def test_engine_throughput_and_trace_store(tmp_path, scale):
           f"{store_speedup:.1f}x (cold {cold:.2f}s, "
           f"warm {store_warm * 1e3:.0f}ms)")
 
-    # regression gates: warm events/sec must not fall below the seed
-    # recorded at PR 6, and a warm trace store must stay >= 5x cold
-    assert warm_eps >= PR6_EVENTS_PER_SEC, (
-        f"warm throughput regressed below the recorded seed: "
-        f"{warm_eps:,.0f} < {PR6_EVENTS_PER_SEC:,.0f} events/s")
+    # regression gates: warm events/sec must clear GATE_MULTIPLIER x
+    # the PR 6 seed, and a warm trace store must stay >= 5x cold
+    gate = GATE_MULTIPLIER * PR6_EVENTS_PER_SEC
+    assert warm_eps >= gate, (
+        f"warm throughput regressed below {GATE_MULTIPLIER}x the "
+        f"recorded seed: {warm_eps:,.0f} < {gate:,.0f} events/s")
     assert store_speedup >= 5.0, (
         f"warm trace store only {store_speedup:.1f}x faster than cold "
         f"(cold {cold:.3f}s, warm {store_warm:.3f}s)")
 
 
 def test_engine_scale_sweep_and_profile(scale):
-    """10^3..10^5-node federated sweep + cProfile of the 10^5 point."""
+    """10^3..10^5-node federated sweep + cProfile of the 10^5 point.
+
+    Runs with automatic GC off (collect first, re-enable after): gen-2
+    pause time scales with the host process's live heap — a full tier-1
+    session holds thousands of collected test items — and cProfile
+    attributes each pause to whichever allocation triggered it, which
+    would swamp the per-tick share this test gates on.
+    """
+    gc.collect()
+    gc.disable()
+    try:
+        _scale_sweep_and_profile(scale)
+    finally:
+        gc.enable()
+
+
+def _scale_sweep_and_profile(scale):
     sweep = []
     for total in SCALE_NODES:
         cfg = _federated_config(total)
@@ -191,7 +218,12 @@ def test_engine_scale_sweep_and_profile(scale):
               f"{res.events / res.wall_seconds:,.0f} events/s "
               f"(outer wall {wall:.2f}s, rss {_peak_rss_kb():,} KB)")
 
-    # profile the 10^5-node scenario end to end (world assembly + run)
+    # profile the 10^5-node scenario end to end (world assembly + run),
+    # with the scheduler/billing telemetry zeroed so the counters below
+    # describe exactly this run
+    reset_sched_telemetry()
+    reset_billing_stats()
+    reset_rate_stats()
     profiler = cProfile.Profile()
     profiler.enable()
     res = run_federated(_federated_config(SCALE_NODES[-1]))
@@ -206,6 +238,37 @@ def test_engine_scale_sweep_and_profile(scale):
         fh.write(top30)
     print(f"[profile saved to {_PROFILE_PATH}]")
 
+    # Algorithm 2 tick cost: core/scheduler.py's cumulative share of
+    # the profiled run wall (the ROADMAP contract keeps it under 20%)
+    tick_cum = sum(
+        ct for (fname, _lineno, func), (_cc, _nc, _tt, ct, _callers)
+        in stats.stats.items()
+        if func == "_tick" and fname.replace(os.sep, "/").endswith(
+            "core/scheduler.py"))
+    sched_share = tick_cum / res.wall_seconds
+    ticks = SCHED_TELEMETRY["ticks"]
+    charges = BILLING_STATS["charges"]
+    scheduler_section = {
+        "ticks": ticks,
+        "tick_wall_seconds": round(SCHED_TELEMETRY["tick_wall"], 3),
+        "mean_tick_us": round(
+            SCHED_TELEMETRY["tick_wall"] / max(1, ticks) * 1e6, 1),
+        "scalar_fallbacks": SCHED_TELEMETRY["scalar_fallbacks"],
+        "charges": charges,
+        "charge_batches": BILLING_STATS["batches"],
+        "charges_per_second": round(charges / res.wall_seconds, 1),
+        "static_rate_hits": RATE_STATS["hits"],
+        "rate_resolves": RATE_STATS["resolves"],
+        "profile_share": round(sched_share, 4),
+    }
+    print(f"[scheduler] {ticks:,} ticks, "
+          f"{scheduler_section['mean_tick_us']:.0f}us/tick, "
+          f"{charges:,} charges "
+          f"({scheduler_section['charges_per_second']:,.0f}/s), "
+          f"{RATE_STATS['hits']:,} static-rate cache hits, "
+          f"{SCHED_TELEMETRY['scalar_fallbacks']} scalar fallbacks, "
+          f"{sched_share:.1%} of the profiled run wall")
+
     _merge_payload({
         "scale_sweep": sweep,
         "profile_100k": {
@@ -215,7 +278,15 @@ def test_engine_scale_sweep_and_profile(scale):
             "top30_path": os.path.relpath(_PROFILE_PATH,
                                           start=os.getcwd()),
         },
+        "scheduler": scheduler_section,
     })
+
+    # the tick loop must stay a minor profile line: Algorithm 2's scan
+    # is columnar now, so > 20% of run wall means the O(1)/vectorized
+    # paths stopped engaging
+    assert sched_share < 0.20, (
+        f"core/scheduler.py _tick is {sched_share:.1%} of the profiled "
+        f"10^5-node run wall (contract: < 20%)")
 
     # sanity: every point simulated the same tenant workload, so event
     # counts may differ per environment but must all be non-trivial

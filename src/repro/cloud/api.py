@@ -97,6 +97,10 @@ class ComputeDriver:
         self.sim = sim
         self.rng = rng or np.random.default_rng(0)
         self.instances: Dict[int, CloudInstance] = {}
+        #: maintained count of alive instances (``destroyed_at`` is
+        #: only ever set by :meth:`destroy_node`, so the counter cannot
+        #: drift from the ``alive`` scan it replaces)
+        self._running = 0
 
     # ------------------------------------------------------------------
     @property
@@ -114,14 +118,14 @@ class ComputeDriver:
         return self.profile.price_per_cpu_hour
 
     def running_count(self) -> int:
-        return sum(1 for i in self.instances.values() if i.alive)
+        return self._running
 
     def create_node(self, tag: str = "", **meta: str) -> CloudInstance:
         """Start one instance; the node accepts work after boot_delay.
 
         Raises :class:`QuotaExceeded` beyond the provider cap.
         """
-        if self.running_count() >= self.profile.max_instances:
+        if self._running >= self.profile.max_instances:
             raise QuotaExceeded(
                 f"{self.name}: quota of {self.profile.max_instances} reached")
         now = self.sim.now
@@ -136,6 +140,7 @@ class ComputeDriver:
                              node=node, created_at=now, boot_end=boot_end,
                              meta=dict(meta))
         self.instances[inst.instance_id] = inst
+        self._running += 1
         return inst
 
     def destroy_node(self, inst: CloudInstance) -> None:
@@ -144,6 +149,7 @@ class ComputeDriver:
             raise CloudError(f"unknown instance {inst.instance_id}")
         if inst.destroyed_at is None:
             inst.destroyed_at = self.sim.now
+            self._running -= 1
 
     def list_nodes(self, alive_only: bool = True) -> List[CloudInstance]:
         out = list(self.instances.values())

@@ -192,6 +192,134 @@ class CreditSystem:
             self.ledger.append(("bill", bot_id, billed))
         return billed
 
+    def bill_many(self, bot_id: str, amounts: List[float],
+                  shortfall_tol: float = 0.0) -> Tuple[List[float], int]:
+        """Bill a sequence of amounts as one batch.
+
+        Float-identical to calling :meth:`bill` once per amount in
+        order — the order/pool lookups and the remaining-escrow
+        arithmetic are hoisted out of the loop, but every clamp,
+        accumulation and ledger append happens in the same sequence
+        the repeated scalar calls would produce.  Billing stops after
+        the first shortfall (``billed < amount - shortfall_tol``),
+        which is exactly where the Scheduler stops billing a run it is
+        about to tear down.
+
+        Returns ``(billed, fail)``: one billed value per *attempted*
+        amount (the list is short when a shortfall stopped the batch),
+        and the index of the shortfall, or ``-1`` if every amount was
+        covered in full.
+        """
+        out: List[float] = []
+        order = self._orders.get(bot_id)
+        if order is None or order.closed:
+            for amount in amounts:
+                if amount < 0:
+                    raise ValueError("bill amount must be non-negative")
+                out.append(0.0)
+                if 0.0 < amount - shortfall_tol:
+                    return out, len(out) - 1
+            return out, -1
+        append = self.ledger.append
+        spent = order.spent
+        fail = -1
+        if order.pool is None:
+            provisioned = order.provisioned
+            # fast path: when the escrow covers the whole batch with
+            # margin (the same conservative bound the Scheduler's
+            # vectorized scan uses), every clamp resolves to
+            # ``billed == amount`` — sequential partial sums of
+            # non-negative floats are monotone, so no prefix can
+            # overshoot what the full sum (plus margin) fits.  The
+            # accumulation below replays the identical float adds.
+            if amounts and min(amounts) >= 0.0:
+                total = 0.0
+                for amount in amounts:
+                    total += amount
+                remaining = provisioned - spent
+                if remaining >= total * (1.0 + 1e-9) + 1e-9:
+                    for amount in amounts:
+                        spent += amount
+                    order.spent = spent
+                    self.ledger.extend(
+                        [("bill", bot_id, amount)
+                         for amount in amounts if amount])
+                    return list(amounts), -1
+            for amount in amounts:
+                if amount < 0:
+                    raise ValueError("bill amount must be non-negative")
+                remaining = provisioned - spent
+                if remaining < 0.0:
+                    remaining = 0.0
+                billed = min(amount, remaining)
+                spent += billed
+                if billed:
+                    append(("bill", bot_id, billed))
+                out.append(billed)
+                if billed < amount - shortfall_tol:
+                    fail = len(out) - 1
+                    break
+            order.spent = spent
+            return out, fail
+        pool = self._pools[order.pool]
+        pool_closed = pool.closed
+        pool_provisioned = pool.provisioned
+        pool_spent = pool.spent
+        allowance = order.allowance
+        if not pool_closed and amounts and min(amounts) >= 0.0:
+            # same whole-batch-fits fast path, against the pooled
+            # remainder (and the arbitration allowance, both of which
+            # shrink by exactly the billed partial sums)
+            total = 0.0
+            for amount in amounts:
+                total += amount
+            remaining = pool_provisioned - pool_spent
+            if remaining < 0.0:
+                remaining = 0.0
+            if allowance is not None:
+                cap = allowance - spent
+                if cap < 0.0:
+                    cap = 0.0
+                if cap < remaining:
+                    remaining = cap
+            if remaining >= total * (1.0 + 1e-9) + 1e-9:
+                for amount in amounts:
+                    spent += amount
+                    pool_spent += amount
+                order.spent = spent
+                pool.spent = pool_spent
+                self.ledger.extend(
+                    [("bill", bot_id, amount)
+                     for amount in amounts if amount])
+                return list(amounts), -1
+        for amount in amounts:
+            if amount < 0:
+                raise ValueError("bill amount must be non-negative")
+            if pool_closed:
+                remaining = 0.0
+            else:
+                remaining = pool_provisioned - pool_spent
+                if remaining < 0.0:
+                    remaining = 0.0
+                if allowance is not None:
+                    cap = allowance - spent
+                    if cap < 0.0:
+                        cap = 0.0
+                    if cap < remaining:
+                        remaining = cap
+            billed = min(amount, remaining)
+            spent += billed
+            pool_spent += billed
+            if billed:
+                append(("bill", bot_id, billed))
+            out.append(billed)
+            if billed < amount - shortfall_tol:
+                fail = len(out) - 1
+                break
+        order.spent = spent
+        pool.spent = pool_spent
+        return out, fail
+
     def close(self, bot_id: str) -> Tuple[float, float]:
         """Pay the order: returns (spent, refunded).
 

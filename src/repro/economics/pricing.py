@@ -29,7 +29,19 @@ from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple, Uni
 from repro.core.credit import CREDITS_PER_CPU_HOUR
 
 __all__ = ["ONDEMAND", "SPOT", "PRICE_TIERS", "ProviderPricing",
-           "PriceBook", "parse_pricing", "spot_rate"]
+           "PriceBook", "parse_pricing", "spot_rate", "RATE_STATS",
+           "reset_rate_stats"]
+
+#: static-rate fast-path telemetry (process-wide, like the harness's
+#: trace-cache counters): ``hits`` = rate reads served from a static
+#: book's cache, ``resolves`` = full ``pricing_for(...).rate(...)``
+#: resolutions.  Reported in the engine bench's scheduler subsection.
+RATE_STATS = {"hits": 0, "resolves": 0}
+
+
+def reset_rate_stats() -> None:
+    RATE_STATS["hits"] = 0
+    RATE_STATS["resolves"] = 0
 
 #: price tiers a provider may quote
 ONDEMAND = "ondemand"
@@ -102,6 +114,10 @@ class PriceBook:
             raise ValueError("default rate must be positive")
         self.default = float(default)
         self._rates: Dict[str, ProviderPricing] = {}
+        # static-rate fast path: (provider, tier) -> resolved rate,
+        # populated only once is_static() holds (see rate()).
+        self._rate_cache: Dict[Tuple[str, str], float] = {}
+        self._static: Optional[bool] = None
         for name, rate in (rates or {}).items():
             self.set_rate(name, rate)
 
@@ -136,15 +152,42 @@ class PriceBook:
         pricing = rate if isinstance(rate, ProviderPricing) \
             else ProviderPricing(rate)
         self._rates[provider.lower()] = pricing
+        self._rate_cache.clear()
+        self._static = None
 
     def pricing_for(self, provider: str) -> ProviderPricing:
         return self._rates.get(provider.lower(),
                                ProviderPricing(self.default))
 
+    def is_static(self) -> bool:
+        """True when no quote is time-varying, so a rate resolved once
+        stays valid for every later ``now`` — the license for the
+        scheduler's per-provider rate cache.  Any :meth:`set_rate` after
+        this is answered invalidates the cache and re-derives it."""
+        if self._static is None:
+            self._static = all(not p.time_varying
+                               for p in self._rates.values())
+        return self._static
+
     def rate(self, provider: str, now: float = 0.0,
              tier: str = ONDEMAND) -> float:
-        """Credits per CPU·hour of one provider at virtual time ``now``."""
-        return self.pricing_for(provider).rate(now, tier)
+        """Credits per CPU·hour of one provider at virtual time ``now``.
+
+        For static books (:meth:`is_static`) the resolved rate is cached
+        per ``(provider, tier)`` — the cached float is exactly the value
+        the first resolution produced, so billing arithmetic is
+        unchanged; time-varying books resolve on every call.
+        """
+        key = (provider, tier)
+        cached = self._rate_cache.get(key)
+        if cached is not None:
+            RATE_STATS["hits"] += 1
+            return cached
+        value = self.pricing_for(provider).rate(now, tier)
+        RATE_STATS["resolves"] += 1
+        if self.is_static():
+            self._rate_cache[key] = value
+        return value
 
     def providers(self) -> List[str]:
         """Providers with an explicit (non-default) quote, sorted."""

@@ -93,6 +93,9 @@ class TraceCache:
         #: columnar form of an entry, built lazily on first columnar
         #: request and evicted together with its raw entry
         self._columns: dict[_TraceKey, NodeColumns] = {}
+        #: t=0 pool filing skeleton per columns template, captured on
+        #: the first pool build and evicted with its raw entry
+        self._filings: dict[_TraceKey, dict] = {}
         self.hits = 0
         self.misses = 0       # L1 misses (may still hit disk)
         self.disk_hits = 0    # L1 misses served by the on-disk store
@@ -135,6 +138,32 @@ class TraceCache:
             self._columns[key] = template
         return template.fresh()
 
+    def materialize_pool(self, trace: str, seed: int, cap: int,
+                         horizon: float, stream: Sequence[int] = (),
+                         rng: Optional[np.random.Generator] = None
+                         ) -> NodePool:
+        """A freshly filed :class:`~repro.infra.pool.NodePool` over one
+        realization — the ``build_dci`` fast path.
+
+        The t=0 filing of a columns template is deterministic and
+        cursor-independent (only the vectorized
+        ``NodePool._init_columns`` path qualifies — degenerate traces
+        re-file every time), so it is computed once per cache entry and
+        restored onto each execution's fresh cursor copy.  The restored
+        pool is structurally identical to a freshly filed one — same
+        draw-list order, same heaps — so the RNG draw sequence, and
+        every fixed-seed golden, is unchanged.
+        """
+        key = (trace, (seed, *stream), cap, horizon)
+        cols = self.materialize_columns(trace, seed, cap, horizon, stream)
+        filing = self._filings.get(key)
+        if filing is not None:
+            return NodePool.from_filing(cols, filing, rng=rng)
+        pool = NodePool(cols, rng=rng)
+        if pool.vector_filed:
+            self._filings[key] = pool.capture_filing()
+        return pool
+
     def _raw_for(self, key: _TraceKey) -> _RawNodes:
         """L1 lookup with LRU accounting (shared by both materializers)."""
         raw = self._entries.get(key)
@@ -144,6 +173,7 @@ class TraceCache:
             while len(self._entries) >= self.capacity():
                 evicted, _ = self._entries.popitem(last=False)
                 self._columns.pop(evicted, None)
+                self._filings.pop(evicted, None)
                 self.evictions += 1
             self._entries[key] = raw
         else:
@@ -187,6 +217,7 @@ class TraceCache:
     def clear(self) -> None:
         self._entries.clear()
         self._columns.clear()
+        self._filings.clear()
 
     def reset_stats(self) -> None:
         self.hits = self.misses = self.disk_hits = self.evictions = 0
@@ -274,10 +305,9 @@ class ScenarioHarness:
                   stream: Sequence[int] = (),
                   middleware_config: Optional[object] = None) -> HarnessDCI:
         """Assemble one DCI from its declarative description."""
-        cols = TRACE_CACHE.materialize_columns(trace, seed, cap,
-                                               self.sim.horizon, stream)
-        pool = NodePool(cols,
-                        rng=np.random.default_rng([seed, *stream, 0xB00]))
+        pool = TRACE_CACHE.materialize_pool(
+            trace, seed, cap, self.sim.horizon, stream,
+            rng=np.random.default_rng([seed, *stream, 0xB00]))
         server = make_server(middleware, self.sim, pool,
                              config=middleware_config, name=name)
         driver = get_driver(provider, self.sim,

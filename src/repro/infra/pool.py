@@ -102,6 +102,10 @@ class NodePool:
         self._columns: Optional[NodeColumns] = None
         #: id -> ColumnNode flyweight, created only for acquired nodes
         self._views: Dict[int, ColumnNode] = {}
+        #: True when the t=0 filing took the pure vectorized path —
+        #: cursor-independent, so the filing may be captured and
+        #: restored onto a fresh cursor copy (see capture_filing)
+        self.vector_filed = False
         if isinstance(nodes, NodeColumns):
             self._init_columns(nodes)
         else:
@@ -176,6 +180,46 @@ class NodePool:
         self._future = list(zip(s0[away].tolist(), ids[away].tolist(),
                                 ids[away].tolist(), e0[away].tolist()))
         heapq.heapify(self._future)
+        self.vector_filed = True
+
+    # ------------------------------------------------------------------
+    def capture_filing(self) -> Dict[str, object]:
+        """Snapshot the t=0 filing of a freshly built columnar pool.
+
+        Only valid straight after a *vectorized* ``_init_columns`` (the
+        degenerate scalar path advances interval cursors, which live in
+        the columns, not here).  The snapshot holds only plain ints and
+        tuples, so restoring it via :meth:`from_filing` onto a fresh
+        cursor copy of the same template reproduces the filing — same
+        draw-list order, same heap layouts — without re-deriving it.
+        """
+        if not self.vector_filed:
+            raise ValueError("filing not capturable: pool was not "
+                             "vector-filed (object pool, degenerate "
+                             "trace, or already mutated)")
+        return {"members": set(self._members), "size": self.size,
+                "ready_reg": list(self._ready_reg),
+                "ready_end_of": dict(self._ready_end_of),
+                "stale": list(self._stale),
+                "future": list(self._future)}
+
+    @classmethod
+    def from_filing(cls, cols: NodeColumns, filing: Dict[str, object],
+                    rng: Optional[np.random.Generator] = None,
+                    cloud_poll_weight: float = 10.0) -> "NodePool":
+        """Rebuild a pool from a :meth:`capture_filing` snapshot over a
+        fresh cursor copy of the *same* columns template — structurally
+        identical to ``NodePool(cols, ...)``, skipping the filing."""
+        pool = cls(rng=rng, cloud_poll_weight=cloud_poll_weight)
+        pool._columns = cols
+        pool._members = set(filing["members"])
+        pool.size = filing["size"]
+        pool._ready_reg = list(filing["ready_reg"])
+        pool._ready_end_of = dict(filing["ready_end_of"])
+        pool._stale = list(filing["stale"])
+        pool._future = list(filing["future"])
+        pool.vector_filed = True
+        return pool
 
     # ------------------------------------------------------------------
     def add(self, node: Node, at: float) -> None:

@@ -24,7 +24,8 @@ server reacts.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from heapq import heapify, heappop, heappush
+from typing import List, Optional, Tuple
 
 from repro.infra.node import Node
 from repro.infra.pool import NodePool
@@ -77,6 +78,16 @@ class BoincServer(DGServer):
         self.config = config or BoincConfig()
         #: incomplete workunits, for cloud duplication candidate scans
         self._incomplete: set[TaskState] = set()
+        # Lazily-invalidated min-heap over the cloud-fetch candidates,
+        # keyed (cloud_dups, first_assign_time|inf, gtid) — the naive
+        # scan's ordering.  Invariant: every key change of an
+        # incomplete workunit pushes a fresh entry (_note_fetch_
+        # candidate), so the least fresh entry IS the scan's argmin;
+        # outdated entries are skipped (and dropped) when popped.  The
+        # seq field breaks ties between duplicate entries of one
+        # workunit before the (uncomparable) TaskState is reached.
+        self._fetch_heap: List[Tuple] = []
+        self._fetch_seq = 0
         # The big same-instant producers: every replica assigned during
         # an arrival storm schedules its delay_bound timer at the same
         # future instant, and node churn lands suspend/resume waves on
@@ -93,6 +104,7 @@ class BoincServer(DGServer):
     def _enqueue_new(self, st: TaskState) -> None:
         """Issue ``target_nresults`` replicas of a fresh workunit."""
         self._incomplete.add(st)
+        self._note_fetch_candidate(st)
         for _ in range(self.config.target_nresults):
             self.pending.append(st)
 
@@ -116,7 +128,10 @@ class BoincServer(DGServer):
 
     def _execute(self, wu: TaskState, node: Node, interval_end: float) -> None:
         t = self.sim.now
+        fresh_fat = wu.first_assign_time is None
         self._mark_assigned(wu, node)
+        if fresh_fat:  # first assignment moved the fetch key off inf
+            self._note_fetch_candidate(wu)
         rep = _Replica(wu, node)
         rep.timeout_ev = self.sim.schedule(self.config.delay_bound,
                                            self._timeout, rep)
@@ -171,6 +186,8 @@ class BoincServer(DGServer):
             wu.outstanding -= 1
         if rep.is_cloud_fetch:
             wu.cloud_dups -= 1
+            if not wu.done:  # key shrank; completion below retires it
+                self._note_fetch_candidate(wu)
         if wu.done:
             self.stats.discarded_results += 1
         else:
@@ -238,28 +255,99 @@ class BoincServer(DGServer):
     # ------------------------------------------------------------------
     # Reschedule-strategy cloud interface
     # ------------------------------------------------------------------
-    def fetch_for_cloud(self, node: Node) -> Optional[TaskState]:
-        """Serve a dedicated cloud worker: pending replicas first, then
-        an extra replica of the least-served incomplete workunit."""
-        wu = self._pick_unit(node)
-        if wu is not None:
-            self._execute_cloud(wu, node)
-            return wu
+    def _fetch_key(self, wu: TaskState) -> Tuple:
+        """The candidate ordering of the historical min-scan."""
+        return (wu.cloud_dups,
+                wu.first_assign_time if wu.first_assign_time is not None
+                else float("inf"),
+                wu.gtid)
+
+    def _note_fetch_candidate(self, wu: TaskState) -> None:
+        """Push the workunit's *current* key onto the fetch heap.
+
+        Called at every site that changes a key component while the
+        workunit is incomplete (enqueue, first assignment, cloud-dup
+        start/return) — the freshness invariant the heap pick relies
+        on.  Old entries are not removed; :meth:`fetch_for_cloud`
+        drops them when they surface.
+        """
+        self._fetch_seq += 1
+        heappush(self._fetch_heap, (*self._fetch_key(wu),
+                                    self._fetch_seq, wu))
+
+    def _fetch_candidate_scan(self, node: Node) -> Optional[TaskState]:
+        """Naive O(incomplete) candidate scan — the reference the heap
+        pick is property-tested against (tests/test_boinc_fetch_heap)."""
         best: Optional[TaskState] = None
         best_key = None
         for cand in self._incomplete:
             if not self._eligible(cand, node):
                 continue
-            key = (cand.cloud_dups,
-                   cand.first_assign_time if cand.first_assign_time
-                   is not None else float("inf"),
-                   cand.gtid)
+            key = self._fetch_key(cand)
             if best_key is None or key < best_key:
                 best, best_key = cand, key
+        return best
+
+    def fetch_for_cloud(self, node: Node) -> Optional[TaskState]:
+        """Serve a dedicated cloud worker: pending replicas first, then
+        an extra replica of the least-served incomplete workunit.
+
+        The candidate pick pops the lazily-invalidated heap instead of
+        scanning ``_incomplete``: outdated and completed entries are
+        dropped, entries ineligible for *this* node (one-result-per-
+        user) are set aside and pushed back, and the first fresh
+        eligible entry is exactly the scan's argmin (unique gtid
+        tiebreak + the freshness invariant).
+        """
+        wu = self._pick_unit(node)
+        if wu is not None:
+            self._execute_cloud(wu, node)
+            return wu
+        best = self._fetch_candidate_pick(node)
         if best is None:
             return None
         self._execute_cloud(best, node)
         return best
+
+    def _fetch_candidate_pick(self, node: Node) -> Optional[TaskState]:
+        """Heap-based candidate pick — equals the naive scan's argmin."""
+        heap = self._fetch_heap
+        if len(heap) > 64 and len(heap) > 4 * len(self._incomplete):
+            self._rebuild_fetch_heap()
+            heap = self._fetch_heap
+        one_per_user = self.config.one_result_per_user_per_wu
+        nid = node.node_id
+        best: Optional[TaskState] = None
+        stash: List[Tuple] = []
+        while heap:
+            entry = heappop(heap)
+            cand = entry[4]
+            if cand.done:
+                continue  # retired; drop every copy for good
+            if (entry[0] != cand.cloud_dups
+                    or entry[1] != (cand.first_assign_time
+                                    if cand.first_assign_time is not None
+                                    else float("inf"))):
+                continue  # outdated key; a fresh entry exists below
+            if one_per_user and nid in cand.workers:
+                stash.append(entry)  # valid, just not for this node
+                continue
+            best = cand
+            stash.append(entry)  # key changes next; entry dies lazily
+            break
+        for entry in stash:
+            heappush(heap, entry)
+        return best
+
+    def _rebuild_fetch_heap(self) -> None:
+        """Compact away accumulated outdated entries (heuristic,
+        triggered when the heap far outgrows the candidate set)."""
+        self._fetch_heap = []
+        for wu in self._incomplete:
+            self._fetch_seq += 1
+            self._fetch_heap.append((*self._fetch_key(wu),
+                                     self._fetch_seq, wu))
+        heapify(self._fetch_heap)
 
     def _execute_cloud(self, wu: TaskState, node: Node) -> None:
         """Start an extra replica on a dedicated (stable) cloud worker."""
@@ -267,5 +355,6 @@ class BoincServer(DGServer):
         rep = _Replica(wu, node)
         rep.is_cloud_fetch = True
         wu.cloud_dups += 1
+        self._note_fetch_candidate(wu)  # cloud_dups moved the key up
         # Stable workers cannot miss delay_bound; no timer needed.
         self._progress(rep, float("inf"))

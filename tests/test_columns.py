@@ -199,3 +199,50 @@ def test_cloud_nodes_coexist_with_columnar_members():
     assert cloud in pool
     pool.remove(cloud)
     assert cloud not in pool
+
+
+# ---------------------------------------------------------- pool filing
+def test_pool_from_filing_replays_fresh_filing_exactly():
+    """A pool restored from a captured t=0 filing skeleton must be
+    indistinguishable from a freshly filed one — same draw-list order,
+    same heaps — so the RNG draw sequence (and every fixed-seed
+    golden) is unchanged when the harness caches the filing."""
+    raw = _fleet_raw(300, n=40)
+    template = NodeColumns.from_raw(raw)
+    donor = NodePool(template.fresh(), rng=np.random.default_rng(0))
+    filing = donor.capture_filing()
+    fresh = NodePool(template.fresh(), rng=np.random.default_rng([9, 1]))
+    restored = NodePool.from_filing(template.fresh(), filing,
+                                    rng=np.random.default_rng([9, 1]))
+    assert restored.vector_filed
+    assert _drive(fresh) == _drive(restored)
+
+
+def test_capture_filing_rejects_unvectorized_pools():
+    obj_pool = NodePool(_nodes_of(_fleet_raw(1, n=5)),
+                        rng=np.random.default_rng(0))
+    assert not obj_pool.vector_filed
+    with pytest.raises(ValueError, match="not capturable"):
+        obj_pool.capture_filing()
+    # a degenerate trace (interval ending before t=0) takes the scalar
+    # filing path, which advances cursors — also not capturable
+    raw = _fleet_raw(200, n=10)
+    raw[7] = (np.array([-3.0]), np.array([-2.0]), 1.0, "gone")
+    col_pool = NodePool(NodeColumns.from_raw(raw).fresh(),
+                        rng=np.random.default_rng(0))
+    assert not col_pool.vector_filed
+    with pytest.raises(ValueError, match="not capturable"):
+        col_pool.capture_filing()
+
+
+def test_trace_cache_materialize_pool_reuses_filing():
+    from repro.experiments.harness import TraceCache
+
+    cache = TraceCache()
+    kw = dict(trace="nd", seed=3, cap=25, horizon=2 * 86400.0)
+    p1 = cache.materialize_pool(rng=np.random.default_rng([3, 0xB00]),
+                                **kw)
+    assert len(cache._filings) == 1  # skeleton captured on first build
+    p2 = cache.materialize_pool(rng=np.random.default_rng([3, 0xB00]),
+                                **kw)
+    assert _drive(p1) == _drive(p2)

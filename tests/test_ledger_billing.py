@@ -1,0 +1,259 @@
+"""Transcript-equality pins for the columnar billing scan (PR 9).
+
+The scheduler's vectorized ``_bill_and_manage`` must be byte-identical
+to the historical per-handle loop (kept as
+``_bill_and_manage_scalar``): same ``credits.bill`` sequence, same
+floats in the credit ledger and the meter's per-provider dicts, same
+handle lifecycle decisions — under arbitrary busy trajectories,
+including escrow exhaustion (where the vectorized path must detect the
+risk and route to the scalar replay).  A hypothesis driver runs twin
+worlds through identical random trajectories and compares full state
+after every tick.
+
+Also pinned here: ``BillingMeter.charge_many`` against sequential
+``charge`` calls, the ledger's column/attribute sync invariants, and
+the ``PriceBook`` static-rate cache semantics.
+"""
+
+from types import SimpleNamespace
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud.worker import CloudWorkerHandle
+from repro.core.credit import CreditSystem
+from repro.core.scheduler import (
+    SCHED_TELEMETRY,
+    QoSRun,
+    SchedulerConfig,
+    SpeQuloSScheduler,
+)
+from repro.core.strategies import (
+    DEPLOY_FLAT,
+    SIZE_CONSERVATIVE,
+    SIZE_GREEDY,
+    StrategyCombo,
+)
+from repro.economics.billing import BillingMeter
+from repro.economics.pricing import PriceBook
+
+
+# --------------------------------------------------------------- stubs
+class _StubServer:
+    """Busy accounting only — what the billing scan reads."""
+
+    def __init__(self):
+        self.busy_sec = {}      # node_id -> accumulated busy seconds
+        self.busy_now = set()   # node_ids currently computing
+
+    def cloud_busy_seconds(self, node):
+        return self.busy_sec.get(node.node_id, 0.0)
+
+    def is_busy(self, node):
+        return node.node_id in self.busy_now
+
+    def cloud_usage_of(self, node_ids, now):
+        return ([self.busy_sec.get(n, 0.0) for n in node_ids],
+                [n in self.busy_now for n in node_ids])
+
+    def remove_cloud_node(self, node):
+        pass
+
+
+class _StubDriver:
+    name = "stubcloud"
+
+    def destroy_node(self, instance):
+        pass
+
+
+def _make_handle(nid):
+    inst = SimpleNamespace(node=SimpleNamespace(node_id=nid),
+                           boot_end=0.0)
+    return CloudWorkerHandle(inst, DEPLOY_FLAT)
+
+
+def _build_world(n_handles, provision, greedy, idle_grace):
+    credits = CreditSystem()
+    credits.deposit("u", provision)
+    credits.order("b", "u", provision)
+    server = _StubServer()
+    cfg = SchedulerConfig(idle_grace=idle_grace)
+    sched = SpeQuloSScheduler(SimpleNamespace(now=0.0), info=None,
+                              credits=credits, config=cfg)
+    combo = StrategyCombo(size=SIZE_GREEDY if greedy
+                          else SIZE_CONSERVATIVE, deploy=DEPLOY_FLAT)
+    run = QoSRun(bot_id="b", server=server, driver=_StubDriver(),
+                 monitor=None, oracle=None, combo=combo, started=True)
+    sched.runs["b"] = run
+    for nid in range(n_handles):
+        run.ledger.append(_make_handle(nid))
+        sched._active_total += 1
+        sched._active_by_server[server] = \
+            sched._active_by_server.get(server, 0) + 1
+    return sched, run, server
+
+
+def _handle_state(run):
+    return [(h.billed_busy, h.last_busy, h.ever_assigned, h.stopped)
+            for h in run.handles]
+
+
+def _assert_ledger_synced(run):
+    """Counter/column consistency: columns mirror attrs exactly."""
+    led = run.ledger
+    n = led.n
+    assert n == len(run.handles)
+    assert led.active == sum(1 for h in run.handles if not h.stopped)
+    assert led.billed_busy[:n].tolist() == \
+        [h.billed_busy for h in run.handles]
+    assert led.last_busy[:n].tolist() == \
+        [h.last_busy for h in run.handles]
+    assert led.ever_assigned[:n].tolist() == \
+        [h.ever_assigned for h in run.handles]
+    assert led.stopped[:n].tolist() == [h.stopped for h in run.handles]
+    for h in run.handles:
+        if not h.stopped:
+            assert led.by_node[h.node.node_id] is h
+
+
+# ----------------------------------------------- scan transcript equality
+@given(data=st.data())
+@settings(max_examples=80, deadline=None)
+def test_vectorized_scan_matches_per_handle_reference(data):
+    n = data.draw(st.integers(1, 6), label="handles")
+    greedy = data.draw(st.booleans(), label="greedy")
+    idle_grace = data.draw(st.sampled_from([None, 60.0, 180.0]),
+                           label="idle_grace")
+    # small provisions force clamping/exhaustion (the scalar-fallback
+    # regime); big ones keep the vectorized fast path engaged
+    provision = data.draw(st.sampled_from([0.02, 0.3, 3.0, 1e4]),
+                          label="provision")
+    vec, run_v, srv_v = _build_world(n, provision, greedy, idle_grace)
+    ref, run_r, srv_r = _build_world(n, provision, greedy, idle_grace)
+
+    n_ticks = data.draw(st.integers(1, 7), label="ticks")
+    now = 0.0
+    for _ in range(n_ticks):
+        now += 60.0
+        incs = data.draw(st.lists(
+            st.floats(0.0, 90.0, allow_nan=False, allow_infinity=False),
+            min_size=n, max_size=n))
+        busy = data.draw(st.lists(st.booleans(), min_size=n, max_size=n))
+        for srv in (srv_v, srv_r):
+            srv.busy_now = {i for i, b in enumerate(busy) if b}
+            for i, inc in enumerate(incs):
+                srv.busy_sec[i] = srv.busy_sec.get(i, 0.0) + inc
+        vec.sim.now = now
+        ref.sim.now = now
+        vec._bill_and_manage(run_v)
+        ref._bill_and_manage_scalar(run_r)
+
+        # full-state equality, exact floats throughout
+        assert vec.credits.ledger == ref.credits.ledger
+        assert vec.credits.get_order("b").spent == \
+            ref.credits.get_order("b").spent
+        assert vec.meter.spent_by_provider == ref.meter.spent_by_provider
+        assert vec.meter.cpu_seconds_by_provider == \
+            ref.meter.cpu_seconds_by_provider
+        assert _handle_state(run_v) == _handle_state(run_r)
+        assert run_v.stop_reason == run_r.stop_reason
+        assert run_v.active_workers() == run_r.active_workers()
+        assert vec._active_total == ref._active_total
+        _assert_ledger_synced(run_v)
+        _assert_ledger_synced(run_r)
+
+
+def test_exhausting_tick_takes_the_scalar_fallback():
+    """A tick whose charges might overrun the escrow must route to the
+    exact replay (where settlement interleaving is observable)."""
+    sched, run, srv = _build_world(3, provision=0.01, greedy=False,
+                                   idle_grace=None)
+    for i in range(3):
+        srv.busy_sec[i] = 3600.0  # 15 credits each at the paper rate
+    before = SCHED_TELEMETRY["scalar_fallbacks"]
+    sched.sim.now = 60.0
+    sched._bill_and_manage(run)
+    assert SCHED_TELEMETRY["scalar_fallbacks"] == before + 1
+    assert run.stop_reason == "credits exhausted"
+    assert all(h.stopped for h in run.handles)
+    assert run.active_workers() == 0
+
+
+def test_stop_by_node_uses_the_index():
+    sched, run, _srv = _build_world(4, provision=100.0, greedy=False,
+                                    idle_grace=None)
+    target = run.handles[2]
+    sched._stop_by_node(run, target.node)
+    assert target.stopped
+    assert run.active_workers() == 3
+    assert sched._active_total == 3
+    # a node the run never launched is a no-op
+    sched._stop_by_node(run, SimpleNamespace(node_id=999))
+    assert run.active_workers() == 3
+
+
+# ------------------------------------------------- charge_many equality
+@given(data=st.data())
+@settings(max_examples=80, deadline=None)
+def test_charge_many_matches_sequential_charges(data):
+    provision = data.draw(st.sampled_from([0.01, 0.5, 20.0, 1e5]))
+    deltas = data.draw(st.lists(
+        st.floats(-5.0, 400.0, allow_nan=False, allow_infinity=False),
+        min_size=0, max_size=10))
+    book = PriceBook.uniform(
+        data.draw(st.sampled_from([15.0, 3.5, 120.0])))
+
+    def fresh():
+        credits = CreditSystem()
+        credits.deposit("u", provision)
+        credits.order("b", "u", provision)
+        return BillingMeter(credits, book)
+
+    seq, batch = fresh(), fresh()
+    expected_fail = -1
+    for i, d in enumerate(deltas):
+        billed, asked = seq.charge("b", "p", d, now=60.0)
+        if billed < asked - 1e-9:
+            expected_fail = i
+            break  # the scheduler stops billing here
+    got_fail = batch.charge_many("b", "p", deltas, now=60.0)
+    assert got_fail == expected_fail
+    assert batch.credits.ledger == seq.credits.ledger
+    assert batch.credits.get_order("b").spent == \
+        seq.credits.get_order("b").spent
+    assert batch.spent_by_provider == seq.spent_by_provider
+    assert batch.cpu_seconds_by_provider == seq.cpu_seconds_by_provider
+
+
+# --------------------------------------------------- static-rate caching
+def test_static_book_caches_and_set_rate_invalidates():
+    book = PriceBook.uniform(15.0)
+    assert book.is_static()
+    assert book.rate("ec2", now=0.0) == 15.0
+    assert ("ec2", "ondemand") in book._rate_cache
+    assert book.rate("ec2", now=9999.0) == 15.0  # served from cache
+    book.set_rate("ec2", 30.0)
+    assert book._rate_cache == {}  # invalidated
+    assert book.rate("ec2", now=0.0) == 30.0
+
+
+def test_time_varying_book_never_caches():
+    book = PriceBook({"spotty": lambda now: 10.0 + now})
+    assert not book.is_static()
+    assert book.rate("spotty", now=0.0) == 10.0
+    assert book.rate("spotty", now=5.0) == 15.0
+    assert book._rate_cache == {}
+
+
+def test_ledger_grows_past_initial_capacity():
+    run = QoSRun(bot_id="b", server=None, driver=None, monitor=None,
+                 oracle=None, combo=None)
+    handles = [_make_handle(i) for i in range(40)]
+    for h in handles:
+        run.ledger.append(h)
+    assert len(run.ledger) == 40
+    assert run.handles == handles
+    assert np.array_equal(run.ledger.node_ids[:40], np.arange(40))
+    assert run.active_workers() == 40
