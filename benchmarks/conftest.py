@@ -84,6 +84,22 @@ def pytest_terminal_summary(terminalreporter):
                 f"{sched['static_rate_hits']:,} static-rate hits, "
                 f"{sched['scalar_fallbacks']} scalar fallbacks, "
                 f"{sched['profile_share']:.1%} of run wall")
+        # dispatch-plane cost of the profiled 10^5-node run (PR 10)
+        disp = record.get("dispatch")
+        if disp:
+            terminalreporter.write_line(
+                f"dispatch plane (10^5 profile): {disp['acquires']:,} "
+                f"acquires in {disp['bulk_batches']:,} bulk batches, "
+                f"{disp['bulk_passes']:,}/{disp['dispatches']:,} bulk "
+                f"passes at {disp['mean_pairing_us']:,.0f}us pairing, "
+                f"{disp['scalar_fallbacks']} scalar fallbacks, "
+                f"{disp['ghost_compactions']} ghost compactions, "
+                f"{disp['profile_share']:.1%} of run wall")
+    # world-assembly skeleton cache (per-process; filled by the sweep)
+    from repro.experiments.harness import ASSEMBLY_CACHE
+    if ASSEMBLY_CACHE.hits or ASSEMBLY_CACHE.misses:
+        terminalreporter.write_line(
+            f"assembly cache: {ASSEMBLY_CACHE.summary()}")
 
 
 @pytest.fixture(scope="session")

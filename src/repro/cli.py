@@ -444,7 +444,7 @@ def _cmd_fed(args) -> int:
 
 def _cmd_store(args) -> int:
     from repro.campaign.store import ResultStore, default_store_path
-    from repro.experiments.harness import TRACE_CACHE
+    from repro.experiments.harness import ASSEMBLY_CACHE, TRACE_CACHE
     from repro.experiments.trace_store import (
         TraceStore,
         default_trace_store_path,
@@ -470,6 +470,8 @@ def _cmd_store(args) -> int:
         # cache is per process — the live numbers appear after report/
         # sweep runs, which print the same line)
         print(f"  trace cache (this process): {TRACE_CACHE.summary()}")
+        print(f"  assembly cache (this process): "
+              f"{ASSEMBLY_CACHE.summary()}")
         return 0
     rows, nbytes = store.gc()
     print(f"store gc: reclaimed {rows} stale rows "

@@ -65,11 +65,11 @@ from repro.infra.catalog import get_trace_spec
 from repro.infra.columns import NodeColumns
 from repro.infra.node import Node
 from repro.infra.pool import NodePool
-from repro.middleware import make_server
 from repro.middleware.base import DGServer
 from repro.simulator.engine import Simulation
 
-__all__ = ["TraceCache", "TRACE_CACHE", "HarnessDCI", "ScenarioHarness"]
+__all__ = ["TraceCache", "TRACE_CACHE", "AssemblyCache", "ASSEMBLY_CACHE",
+           "HarnessDCI", "ScenarioHarness"]
 
 
 # ---------------------------------------------------------------------------
@@ -77,6 +77,36 @@ __all__ = ["TraceCache", "TRACE_CACHE", "HarnessDCI", "ScenarioHarness"]
 # ---------------------------------------------------------------------------
 _TraceKey = Tuple[str, Tuple[int, ...], int, float]
 _RawNodes = List[Tuple[np.ndarray, np.ndarray, float, str]]
+
+
+class _CacheEntry:
+    """One cached realization: flat store-layout arrays and/or the
+    per-node raw view list, whichever was cheapest to obtain.
+
+    Disk hits arrive flat (five array handles); the per-node views are
+    only built if an object-Node consumer actually asks
+    (:meth:`TraceCache.materialize`) — columnar consumers go straight
+    to :meth:`~repro.infra.columns.NodeColumns.from_flat` and never
+    pay the 10^5-iteration split.  Generated realizations arrive raw.
+    """
+
+    __slots__ = ("flat", "_raw")
+
+    def __init__(self, flat: Optional[Tuple] = None,
+                 raw: Optional[_RawNodes] = None):
+        self.flat = flat
+        self._raw = raw
+
+    @property
+    def raw(self) -> _RawNodes:
+        if self._raw is None:
+            starts, ends, bounds, powers, tags = self.flat
+            self._raw = [
+                (np.asarray(starts[bounds[i]:bounds[i + 1]]),
+                 np.asarray(ends[bounds[i]:bounds[i + 1]]),
+                 float(powers[i]), tags[i])
+                for i in range(bounds.shape[0] - 1)]
+        return self._raw
 
 
 class TraceCache:
@@ -89,7 +119,7 @@ class TraceCache:
     """
 
     def __init__(self) -> None:
-        self._entries: "OrderedDict[_TraceKey, _RawNodes]" = OrderedDict()
+        self._entries: "OrderedDict[_TraceKey, _CacheEntry]" = OrderedDict()
         #: columnar form of an entry, built lazily on first columnar
         #: request and evicted together with its raw entry
         self._columns: dict[_TraceKey, NodeColumns] = {}
@@ -131,11 +161,16 @@ class TraceCache:
         object rebuild entirely.
         """
         key = (trace, (seed, *stream), cap, horizon)
-        raw = self._raw_for(key)
         template = self._columns.get(key)
         if template is None:
-            template = NodeColumns.from_raw(raw)
+            entry = self._entry_for(key)
+            if entry.flat is not None:
+                template = NodeColumns.from_flat(*entry.flat)
+            else:
+                template = NodeColumns.from_raw(entry.raw)
             self._columns[key] = template
+        else:
+            self._entry_for(key)  # LRU touch keeps columns+entry paired
         return template.fresh()
 
     def materialize_pool(self, trace: str, seed: int, cap: int,
@@ -166,37 +201,42 @@ class TraceCache:
 
     def _raw_for(self, key: _TraceKey) -> _RawNodes:
         """L1 lookup with LRU accounting (shared by both materializers)."""
-        raw = self._entries.get(key)
-        if raw is None:
+        return self._entry_for(key).raw
+
+    def _entry_for(self, key: _TraceKey) -> "_CacheEntry":
+        entry = self._entries.get(key)
+        if entry is None:
             self.misses += 1
-            raw = self._materialize_miss(key)
+            entry = self._materialize_miss(key)
             while len(self._entries) >= self.capacity():
                 evicted, _ = self._entries.popitem(last=False)
                 self._columns.pop(evicted, None)
                 self._filings.pop(evicted, None)
                 self.evictions += 1
-            self._entries[key] = raw
+            self._entries[key] = entry
         else:
             # LRU: a hit refreshes the entry so hot environments survive
             # campaign sweeps that touch more traces than the cache holds.
             self.hits += 1
             self._entries.move_to_end(key)
-        return raw
+        return entry
 
-    def _materialize_miss(self, key: _TraceKey) -> _RawNodes:
+    def _materialize_miss(self, key: _TraceKey) -> "_CacheEntry":
         """L1 miss: promote from the disk store, else generate + archive.
 
-        The generated arrays are frozen before anything else sees them:
+        Disk promotions stay in the store's flat layout (per-node views
+        are only split off lazily, see :class:`_CacheEntry`).  The
+        generated arrays are frozen before anything else sees them:
         every execution rebuilt from this entry shares them zero-copy,
         so a mutating consumer must fail loudly.
         """
         trace, (seed, *stream), cap, horizon = key
         store = default_trace_store()
         if store is not None:
-            raw = store.load(key)
-            if raw is not None:
+            flat = store.load_flat(key)
+            if flat is not None:
                 self.disk_hits += 1
-                return raw
+                return _CacheEntry(flat=flat)
         rng = np.random.default_rng([seed, *stream, 0xACE])
         nodes = get_trace_spec(trace).materialize(rng, horizon, cap)
         raw = [(n.starts, n.ends, n.power, n.tag) for n in nodes]
@@ -208,7 +248,7 @@ class TraceCache:
                 store.save(key, raw)
             except OSError:
                 pass  # a full/read-only disk must not fail the run
-        return raw
+        return _CacheEntry(raw=raw)
 
     # ------------------------------------------------------------------
     def keys(self) -> List[_TraceKey]:
@@ -232,8 +272,97 @@ class TraceCache:
                 f"(cap {self.capacity()})")
 
 
+    def columns_template(self, trace: str, seed: int, cap: int,
+                         horizon: float,
+                         stream: Sequence[int] = ()) -> NodeColumns:
+        """The *shared immutable* columns template for one realization
+        (no per-execution cursor copy) — the assembly cache pins this
+        so sweeps larger than the LRU don't thrash templates."""
+        key = (trace, (seed, *stream), cap, horizon)
+        template = self._columns.get(key)
+        if template is None:
+            self.materialize_columns(trace, seed, cap, horizon, stream)
+            template = self._columns[key]
+        return template
+
+
 #: process-wide cache shared by every runner entry point
 TRACE_CACHE = TraceCache()
+
+
+# ---------------------------------------------------------------------------
+# assembly-skeleton cache (per process)
+# ---------------------------------------------------------------------------
+class _AssemblySkeleton:
+    """Everything :meth:`ScenarioHarness.build_dci` can reuse across
+    executions of one DCI spec: the resolved server class, the shared
+    columns template and the captured t=0 pool filing.  All three are
+    execution-independent; only the simulation, the RNGs and the pool
+    cursors are fresh per run."""
+
+    __slots__ = ("server_cls", "template", "filing")
+
+    def __init__(self, server_cls, template: NodeColumns,
+                 filing: Optional[dict]):
+        self.server_cls = server_cls
+        self.template = template
+        self.filing = filing
+
+
+class AssemblyCache:
+    """Per-process cache of world-assembly skeletons.
+
+    One level above the trace cache's pool-filing cache: keyed by the
+    full DCI spec — ``(trace key, middleware, config digest,
+    provider)`` — so repeated sweep shards (the same
+    ``run_federated`` configuration re-executed across seeds of a
+    campaign, or warm bench rounds) skip middleware resolution and the
+    trace-cache lookup chain entirely.  Skeletons pin their columns
+    template beyond the trace LRU; the map is bounded by the number of
+    distinct DCI specs a process touches.
+    """
+
+    def __init__(self) -> None:
+        self._skeletons: dict = {}
+        self.hits = 0
+        self.misses = 0
+
+    def skeleton(self, trace: str, seed: int, cap: int, horizon: float,
+                 stream: Sequence[int], middleware: str,
+                 middleware_config, provider: str) -> _AssemblySkeleton:
+        from repro.middleware import resolve_server
+        key = (trace, (seed, *stream), cap, horizon,
+               middleware.lower(), repr(middleware_config), provider)
+        skel = self._skeletons.get(key)
+        if skel is not None:
+            self.hits += 1
+            return skel
+        self.misses += 1
+        server_cls = resolve_server(middleware)
+        template = TRACE_CACHE.columns_template(trace, seed, cap,
+                                                horizon, stream)
+        probe = NodePool(template.fresh())
+        filing = probe.capture_filing() if probe.vector_filed else None
+        skel = _AssemblySkeleton(server_cls, template, filing)
+        self._skeletons[key] = skel
+        return skel
+
+    def clear(self) -> None:
+        self._skeletons.clear()
+
+    def reset_stats(self) -> None:
+        self.hits = self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._skeletons)
+
+    def summary(self) -> str:
+        return (f"{self.hits} hits, {self.misses} misses, "
+                f"{len(self)} skeletons")
+
+
+#: process-wide assembly-skeleton cache (see AssemblyCache)
+ASSEMBLY_CACHE = AssemblyCache()
 
 
 # ---------------------------------------------------------------------------
@@ -304,12 +433,26 @@ class ScenarioHarness:
                   cap: int, provider: str = "simulation",
                   stream: Sequence[int] = (),
                   middleware_config: Optional[object] = None) -> HarnessDCI:
-        """Assemble one DCI from its declarative description."""
-        pool = TRACE_CACHE.materialize_pool(
-            trace, seed, cap, self.sim.horizon, stream,
-            rng=np.random.default_rng([seed, *stream, 0xB00]))
-        server = make_server(middleware, self.sim, pool,
-                             config=middleware_config, name=name)
+        """Assemble one DCI from its declarative description.
+
+        Served from the :data:`ASSEMBLY_CACHE` skeleton for the spec:
+        a skeleton hit restores the pool from the captured filing onto
+        a fresh cursor copy and constructs the server class directly —
+        structurally identical to the uncached path (same draw-list
+        order, same RNG streams), just without re-deriving anything.
+        """
+        skel = ASSEMBLY_CACHE.skeleton(trace, seed, cap, self.sim.horizon,
+                                       stream, middleware,
+                                       middleware_config, provider)
+        rng = np.random.default_rng([seed, *stream, 0xB00])
+        if skel.filing is not None:
+            pool = NodePool.from_filing(skel.template.fresh(),
+                                        skel.filing, rng=rng)
+        else:  # degenerate trace: the filing isn't capturable
+            pool = TRACE_CACHE.materialize_pool(
+                trace, seed, cap, self.sim.horizon, stream, rng=rng)
+        server = skel.server_cls(self.sim, pool, config=middleware_config,
+                                 name=name)
         driver = get_driver(provider, self.sim,
                             rng=np.random.default_rng([seed, *stream, 0xC10]))
         return self.add_dci(name, server, driver, pool)
@@ -410,7 +553,11 @@ class ScenarioHarness:
         """Stop the simulation once every listed BoT has completed.
 
         One shared watcher is attached to every assembled server, so
-        completions count no matter which DCI hosts the BoT.
+        completions count no matter which DCI hosts the BoT.  The stop
+        is terminal for the scenario, so a stop hook tears the servers
+        down (cancelling dead dispatch wake-up timers) once the event
+        loop has exited — transcript-invisible by construction, since
+        post-stop events never execute.
         """
         pending = set(bot_ids)
         sim = self.sim
@@ -424,6 +571,11 @@ class ScenarioHarness:
         watcher = _StopWhenAllDone()
         for dci in self.dcis.values():
             dci.server.add_observer(watcher)
+        sim.add_stop_hook(self._teardown_servers)
+
+    def _teardown_servers(self) -> None:
+        for dci in self.dcis.values():
+            dci.server.teardown()
 
     def run(self, until: Optional[float] = None) -> float:
         return self.sim.run(until=until)

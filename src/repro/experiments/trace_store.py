@@ -157,8 +157,16 @@ class TraceStore:
         return os.path.join(self.root,
                             f"{key[0]}-{digest}-{self.fingerprint}.npz")
 
-    def load(self, key: TraceKey) -> Optional[RawNodes]:
-        """The stored realization as read-only per-node views, or None."""
+    def load_flat(self, key: TraceKey) -> Optional[Tuple]:
+        """The stored realization in its on-disk flat layout, or None.
+
+        Returns ``(starts, ends, bounds, powers, tags)`` — the interval
+        arrays memory-mapped read-only, tags as a plain str tuple.
+        This is the zero-loop fast path for columnar consumers
+        (:meth:`~repro.infra.columns.NodeColumns.from_flat`); a 10^5
+        -host load is five array handles instead of 10^5 per-node
+        view constructions.
+        """
         path = self.path_for(key)
         if not os.path.exists(path):
             self.misses += 1
@@ -175,8 +183,16 @@ class TraceStore:
         with np.load(path, allow_pickle=False) as npz:
             powers = npz["powers"]
             tags = npz["tags"]
-        starts, ends = arrays["starts"], arrays["ends"]
-        bounds = arrays["bounds"]
+        self.loads += 1
+        return (arrays["starts"], arrays["ends"], arrays["bounds"],
+                powers, tuple(tags.tolist()))
+
+    def load(self, key: TraceKey) -> Optional[RawNodes]:
+        """The stored realization as read-only per-node views, or None."""
+        flat = self.load_flat(key)
+        if flat is None:
+            return None
+        starts, ends, bounds, powers, tags = flat
         raw: RawNodes = []
         for i in range(bounds.shape[0] - 1):
             lo, hi = int(bounds[i]), int(bounds[i + 1])
@@ -185,7 +201,6 @@ class TraceStore:
             # execution shares the exact same array objects
             raw.append((np.asarray(starts[lo:hi]), np.asarray(ends[lo:hi]),
                         float(powers[i]), str(tags[i])))
-        self.loads += 1
         return raw
 
     def save(self, key: TraceKey, raw: RawNodes) -> str:

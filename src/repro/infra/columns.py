@@ -72,24 +72,61 @@ class NodeColumns:
         """
         n = len(raw)
         offsets = np.zeros(n + 1, dtype=np.int64)
+        power = np.empty(n, dtype=np.float64)
         if n:
             np.cumsum([s.shape[0] for s, _e, _p, _t in raw],
                       out=offsets[1:])
-        total = int(offsets[-1])
-        starts = np.empty(total, dtype=np.float64)
-        ends = np.empty(total, dtype=np.float64)
-        power = np.empty(n, dtype=np.float64)
-        tags: List[str] = []
-        for i, (s, e, p, tag) in enumerate(raw):
-            if p <= 0:
-                raise ValueError(f"node power must be positive, got {p}")
-            if s.shape != e.shape:
+            counts_e = np.fromiter((e.shape[0] for _s, e, _p, _t in raw),
+                                   dtype=np.int64, count=n)
+            if not np.array_equal(np.diff(offsets), counts_e):
                 raise ValueError("starts and ends must have identical "
                                  "shapes")
-            starts[offsets[i]:offsets[i + 1]] = s
-            ends[offsets[i]:offsets[i + 1]] = e
-            power[i] = p
-            tags.append(tag)
+            power[:] = np.fromiter((p for _s, _e, p, _t in raw),
+                                   dtype=np.float64, count=n)
+            if not np.all(power > 0):
+                bad = float(power[np.argmax(~(power > 0))])
+                raise ValueError(f"node power must be positive, got {bad}")
+        total = int(offsets[-1])
+        if total:
+            starts = np.concatenate([s for s, _e, _p, _t in raw])
+            ends = np.concatenate([e for _s, e, _p, _t in raw])
+            starts = np.ascontiguousarray(starts, dtype=np.float64)
+            ends = np.ascontiguousarray(ends, dtype=np.float64)
+        else:
+            starts = np.empty(0, dtype=np.float64)
+            ends = np.empty(0, dtype=np.float64)
+        tags = tuple(tag for _s, _e, _p, tag in raw)
+        return cls._seal(starts, ends, offsets, power, tags)
+
+    @classmethod
+    def from_flat(cls, starts: np.ndarray, ends: np.ndarray,
+                  offsets: np.ndarray, power: np.ndarray,
+                  tags: Sequence[str]) -> "NodeColumns":
+        """Build the template from already-flat arrays, zero-copy.
+
+        This is the trace store's on-disk layout (``starts``/``ends``/
+        ``bounds``/``powers``/``tags``), so a store hit skips both the
+        per-node view split and the re-concatenation: the mmap-backed
+        arrays become the columns directly.  Validation is the same
+        vectorized pass as :meth:`from_raw`.
+        """
+        starts = np.ascontiguousarray(starts, dtype=np.float64)
+        ends = np.ascontiguousarray(ends, dtype=np.float64)
+        offsets = np.ascontiguousarray(offsets, dtype=np.int64)
+        power = np.ascontiguousarray(power, dtype=np.float64)
+        if starts.shape != ends.shape:
+            raise ValueError("starts and ends must have identical shapes")
+        if len(power) and not np.all(power > 0):
+            bad = float(power[np.argmax(~(power > 0))])
+            raise ValueError(f"node power must be positive, got {bad}")
+        return cls._seal(starts, ends, offsets, power, tuple(tags))
+
+    @classmethod
+    def _seal(cls, starts: np.ndarray, ends: np.ndarray,
+              offsets: np.ndarray, power: np.ndarray,
+              tags: Tuple[str, ...]) -> "NodeColumns":
+        """Shared interval validation + freeze for both constructors."""
+        total = int(offsets[-1])
         if total:
             if not np.all(ends > starts):
                 raise ValueError("intervals must be positive-length")
@@ -103,7 +140,7 @@ class NodeColumns:
                                  "non-overlapping")
         for arr in (starts, ends, offsets, power):
             arr.setflags(write=False)
-        return cls(starts, ends, offsets, power, tuple(tags),
+        return cls(starts, ends, offsets, power, tags,
                    cursor=offsets[:-1].copy())
 
     def fresh(self) -> "NodeColumns":

@@ -8,8 +8,8 @@ pool instead activates nodes *lazily*:
 * ``_ready_*`` — unordered lists of idle nodes believed to be inside an
   availability interval (entries may be stale; they are validated and
   recycled on pop);
-* ``_future`` — heap of idle nodes currently unavailable, keyed by next
-  interval start.
+* a *future* store of idle nodes currently unavailable, keyed by next
+  interval start (columnar epoch arrays + an overflow heap, below).
 
 Only :meth:`acquire` (the middleware asking for a worker) pays the cost
 of promoting nodes between the two structures; nodes that are never
@@ -31,22 +31,56 @@ columnar realization is vectorized but replays the historical
 node-id-order ``add()`` loop exactly, so draw-list positions — and
 therefore the RNG draw sequence — are unchanged.
 
+Columnar promotion epochs: the t=0 filing used to heapify every
+not-yet-available node into a per-node future heap and every ready
+interval end into a stale heap — ~10^5 tuple allocations whose pops
+dominated the dispatch profile.  The filing now lands in flat sorted
+NumPy arrays instead (the *epoch*): ``_fut_start``/``_fut_id``/
+``_fut_end`` sorted by ``(start, id)`` with a cursor ``_fut_pos``, and
+``_stale_end``/``_stale_id`` sorted by ``(end, id)`` with
+``_stale_pos``.  Promotion and stale sweeping over the epoch are one
+``searchsorted`` cut plus a bulk refile.  Nodes refiled *after* the
+epoch (release/preempt churn) go to small overflow heaps (``_future``,
+``_stale``) exactly as before.  **Draw-order invariant:** the
+historical heaps popped in ascending ``(start, id)`` / ``(end, id)``
+key order — a property of the key multiset, not the heap layout — and
+the epoch arrays are sorted by those same keys, so processing an
+array cut front-to-back, or merging array head against heap head when
+both sides are due (:meth:`_promote_merge`, :meth:`_sweep_merge`),
+re-files nodes in the byte-identical order.  For the same reason a
+bulk batch of pushes may be replaced by ``extend + heapify``: heapq's
+pop sequence depends only on the key multiset (duplicate keys here are
+fully identical tuples, hence interchangeable).
+
 Ready bookkeeping: alongside the draw lists the pool keeps
 ``_ready_end_of`` (node id → ``(interval_end, entry)`` for every node
-filed ready) and ``_stale`` (a min-heap of those interval ends).  The
-probes — :meth:`has_ready`, :meth:`idle_count`,
-:meth:`next_future_start` — used to rescan and re-validate every list
-entry per call, O(pool) each; now they pop the stale heap once per
-*expired* entry (amortized O(log n)), refile those nodes to their next
-interval, and read the answer off the index.  :meth:`acquire`
-deliberately does **not** sweep: its draw loop still validates lazily
-so the RNG draw sequence (and thus every fixed-seed golden) is
-bit-identical to the historical scan — a sweep would refile entries
-the historical code left in place and shift the draw weights.  Entries
-a sweep refiled remain in the draw lists as *ghosts* (their id has
-left the index) and are skipped at draw time exactly like the retired
-nodes the historical loop skipped; a sweep compacts them away when
-they outnumber live entries.
+filed ready).  The probes — :meth:`has_ready`, :meth:`idle_count`,
+:meth:`next_future_start` — pop the stale store once per *expired*
+entry (amortized O(log n)), refile those nodes to their next interval,
+and read the answer off the index.  :meth:`acquire` deliberately does
+**not** sweep: its draw loop still validates lazily so the RNG draw
+sequence (and thus every fixed-seed golden) is bit-identical to the
+historical scan — a sweep would refile entries the historical code
+left in place and shift the draw weights.  Entries a sweep refiled
+remain in the draw lists as *ghosts* (their id has left the index, or
+— after a sweep-refile within the same probe — a fresher copy of the
+same id was appended) and are skipped at draw time exactly like the
+retired nodes the historical loop skipped; a sweep compacts them away
+when they outnumber live entries, keeping exactly one copy per indexed
+id (a sweep-refiled node leaves its old list copy *and* appends a new
+one, so compaction must deduplicate or the ghost count never drops
+and the compaction scan re-triggers forever).
+
+Bulk acquisition: :meth:`acquire_many` is provably ``k`` sequential
+:meth:`acquire` calls — one shared :meth:`_promote` (the follow-up
+promotes are no-ops: nothing with ``start <= t`` remains and the draws
+add nothing) followed by ``k`` runs of the identical scalar draw loop
+over ``self._rng``.  Only the bookkeeping around the draws is batched;
+the weighted cloud-vs-regular pick, the ghost skips and the lazy
+refiles consume the historical RNG sequence draw for draw.  Callers
+whose interleaving cannot be reduced to back-to-back acquires (any
+path that releases or files nodes between draws) must keep calling
+scalar :meth:`acquire`.
 
 Selection model: desktop-grid work distribution is *pull-based* — the
 server hands a task to whichever idle worker polls next.  Among
@@ -70,10 +104,24 @@ import numpy as np
 from repro.infra.columns import ColumnNode, NodeColumns
 from repro.infra.node import Node
 
-__all__ = ["NodePool"]
+__all__ = ["NodePool", "POOL_STATS", "reset_pool_stats"]
 
 #: a pool entry: a columnar node id, or a dynamically added Node
 _Entry = Union[int, Node]
+
+#: dispatch-plane telemetry (reset per profiled run by the benches):
+#: individual weighted draws served, acquire_many batch calls, and
+#: ghost compaction passes over the draw lists
+POOL_STATS = {"acquires": 0, "bulk_batches": 0, "ghost_compactions": 0}
+
+
+def reset_pool_stats() -> None:
+    for key in POOL_STATS:
+        POOL_STATS[key] = 0
+
+
+_EMPTY_F = np.empty(0, dtype=np.float64)
+_EMPTY_I = np.empty(0, dtype=np.int64)
 
 
 class NodePool:
@@ -91,11 +139,20 @@ class NodePool:
         self._ready_cloud: List[_Entry] = []
         #: node id -> (interval_end, entry) for every node filed ready
         self._ready_end_of: Dict[int, Tuple[float, _Entry]] = {}
-        #: min-heap of (interval_end, id); entries go stale when the
-        #: node leaves ready — validated against _ready_end_of on pop
-        self._stale: List[Tuple[float, int]] = []
-        # (next_start, id, entry, interval_end)
+        # -- future store: epoch arrays (t=0 filing, sorted by
+        # (start, id)) behind a cursor, + overflow heap of
+        # (next_start, id, entry, interval_end) for later refiles
+        self._fut_start = _EMPTY_F
+        self._fut_id = _EMPTY_I
+        self._fut_end = _EMPTY_F
+        self._fut_pos = 0
         self._future: List[Tuple[float, int, _Entry, float]] = []
+        # -- stale store: epoch arrays (sorted by (end, id)) behind a
+        # cursor, + overflow heap of (interval_end, id)
+        self._stale_end = _EMPTY_F
+        self._stale_id = _EMPTY_I
+        self._stale_pos = 0
+        self._stale: List[Tuple[float, int]] = []
         self._members: set[int] = set()
         self.size = 0
         #: backing columnar realization (None for object-only pools)
@@ -151,9 +208,10 @@ class NodePool:
         Exactly replays ``add(node, at=0.0)`` over node ids in order:
         nodes without a future interval are dropped, first intervals
         containing 0 file ready (ascending id — the draw-list order the
-        RNG sequence depends on), later ones go to the future heap.
-        ``heapify`` over unique keys pops in the same order as the
-        historical sequential pushes.
+        RNG sequence depends on), later ones become the future *epoch*:
+        flat arrays sorted by ``(start, id)``, the same total order the
+        historical heap popped in.  Ready interval ends become the
+        stale epoch, sorted by ``(end, id)`` likewise.
         """
         self._columns = cols
         ids, s0, e0 = cols.first_interval()
@@ -169,17 +227,24 @@ class NodePool:
         self._members = set(ids.tolist())
         self.size = len(self._members)
         ready = s0 <= 0.0
+        ids_r, e_r = ids[ready], e0[ready]
         index = self._ready_end_of
         reg = self._ready_reg
-        for i, end in zip(ids[ready].tolist(), e0[ready].tolist()):
+        for i, end in zip(ids_r.tolist(), e_r.tolist()):
             index[i] = (end, i)
             reg.append(i)
-        self._stale = list(zip(e0[ready].tolist(), ids[ready].tolist()))
-        heapq.heapify(self._stale)
+        order = np.lexsort((ids_r, e_r))
+        self._stale_end = np.ascontiguousarray(e_r[order])
+        self._stale_id = np.ascontiguousarray(ids_r[order])
         away = ~ready
-        self._future = list(zip(s0[away].tolist(), ids[away].tolist(),
-                                ids[away].tolist(), e0[away].tolist()))
-        heapq.heapify(self._future)
+        ids_a, s_a, e_a = ids[away], s0[away], e0[away]
+        order = np.lexsort((ids_a, s_a))
+        self._fut_start = np.ascontiguousarray(s_a[order])
+        self._fut_id = np.ascontiguousarray(ids_a[order])
+        self._fut_end = np.ascontiguousarray(e_a[order])
+        for arr in (self._stale_end, self._stale_id, self._fut_start,
+                    self._fut_id, self._fut_end):
+            arr.setflags(write=False)
         self.vector_filed = True
 
     # ------------------------------------------------------------------
@@ -188,10 +253,12 @@ class NodePool:
 
         Only valid straight after a *vectorized* ``_init_columns`` (the
         degenerate scalar path advances interval cursors, which live in
-        the columns, not here).  The snapshot holds only plain ints and
-        tuples, so restoring it via :meth:`from_filing` onto a fresh
-        cursor copy of the same template reproduces the filing — same
-        draw-list order, same heap layouts — without re-deriving it.
+        the columns, not here).  The epoch arrays are immutable — only
+        their cursors move — so the snapshot shares them zero-copy;
+        the draw list and ready index are copied per restore.
+        Restoring via :meth:`from_filing` onto a fresh cursor copy of
+        the same template reproduces the filing — same draw-list order,
+        same epochs — without re-deriving it.
         """
         if not self.vector_filed:
             raise ValueError("filing not capturable: pool was not "
@@ -200,8 +267,9 @@ class NodePool:
         return {"members": set(self._members), "size": self.size,
                 "ready_reg": list(self._ready_reg),
                 "ready_end_of": dict(self._ready_end_of),
-                "stale": list(self._stale),
-                "future": list(self._future)}
+                "stale_end": self._stale_end, "stale_id": self._stale_id,
+                "fut_start": self._fut_start, "fut_id": self._fut_id,
+                "fut_end": self._fut_end}
 
     @classmethod
     def from_filing(cls, cols: NodeColumns, filing: Dict[str, object],
@@ -216,8 +284,11 @@ class NodePool:
         pool.size = filing["size"]
         pool._ready_reg = list(filing["ready_reg"])
         pool._ready_end_of = dict(filing["ready_end_of"])
-        pool._stale = list(filing["stale"])
-        pool._future = list(filing["future"])
+        pool._stale_end = filing["stale_end"]
+        pool._stale_id = filing["stale_id"]
+        pool._fut_start = filing["fut_start"]
+        pool._fut_id = filing["fut_id"]
+        pool._fut_end = filing["fut_end"]
         pool.vector_filed = True
         return pool
 
@@ -265,61 +336,313 @@ class NodePool:
         cloud = type(entry) is not int and entry.cloud
         (self._ready_cloud if cloud else self._ready_reg).append(entry)
 
+    # ------------------------------------------------------------------
+    # promotion (future -> ready)
+    # ------------------------------------------------------------------
     def _promote(self, t: float) -> None:
-        """Move nodes whose next interval has started into ready."""
-        future = self._future
-        while future and future[0][0] <= t:
-            _, nid, entry, end = heapq.heappop(future)
-            if nid not in self._members:
+        """Move nodes whose next interval has started into ready.
+
+        Fast path: when the overflow heap holds nothing due, the due
+        slice of the future epoch is one ``searchsorted`` cut, filed
+        front-to-back — the epoch is sorted by ``(start, id)``, the
+        exact order the historical heap popped the same keys in.  When
+        both the epoch head and the heap head are due they are merged
+        scalar-wise on that key (:meth:`_promote_merge`).
+        """
+        fs = self._fut_start
+        pos = self._fut_pos
+        heap = self._future
+        if pos < fs.shape[0] and fs[pos] <= t:
+            if not heap or heap[0][0] > t:
+                hi = int(np.searchsorted(fs, t, side="right"))
+                self._bulk_promote(pos, hi)
+                self._fut_pos = hi
+            else:
+                self._promote_merge(t)
+            return
+        members = self._members
+        while heap and heap[0][0] <= t:
+            _, nid, entry, end = heapq.heappop(heap)
+            if nid not in members:
                 continue
             self._file_ready(entry, end)
 
+    def _bulk_promote(self, lo: int, hi: int) -> None:
+        """File epoch entries ``[lo, hi)`` ready, in epoch order.
+
+        Epoch entries are always columnar ids (never cloud).  The stale
+        pushes may be batched as ``extend + heapify``: heapq's pop
+        sequence over a key multiset is layout-independent, so the
+        sweep order is unchanged (see the module docstring).
+        """
+        ids = self._fut_id[lo:hi].tolist()
+        ends = self._fut_end[lo:hi].tolist()
+        members = self._members
+        index = self._ready_end_of
+        reg = self._ready_reg
+        stale = self._stale
+        pairs = []
+        for i, end in zip(ids, ends):
+            if i not in members:
+                continue
+            index[i] = (end, i)
+            reg.append(i)
+            pairs.append((end, i))
+        if len(pairs) > 8 and 4 * len(pairs) > len(stale):
+            stale.extend(pairs)
+            heapq.heapify(stale)
+        else:
+            for pair in pairs:
+                heapq.heappush(stale, pair)
+
+    def _promote_merge(self, t: float) -> None:
+        """Promotion merging epoch entries vs heap entries on
+        ``(start, id)`` — the historical all-heap pop order.
+
+        The due epoch slice is cut once (``searchsorted`` + `tolist`)
+        rather than read element-wise through numpy scalars, and its
+        filings (always columnar ids, never cloud) are inlined with
+        the stale pushes batched — exact for the same reason as
+        :meth:`_bulk_promote`: ready-list append order follows the
+        merge order, and the stale heap's pop sequence over a key
+        multiset does not depend on its internal layout.
+        """
+        fs = self._fut_start
+        pos = self._fut_pos
+        hi = int(np.searchsorted(fs, t, side="right"))
+        starts = fs[pos:hi].tolist()
+        ids = self._fut_id[pos:hi].tolist()
+        ends = self._fut_end[pos:hi].tolist()
+        self._fut_pos = hi
+        heap = self._future
+        members = self._members
+        index = self._ready_end_of
+        reg = self._ready_reg
+        stale = self._stale
+        heappop = heapq.heappop
+        pairs = []
+        i = 0
+        n = len(starts)
+        while True:
+            take_arr = i < n
+            take_heap = bool(heap) and heap[0][0] <= t
+            if take_arr and take_heap:
+                take_arr = ((starts[i], ids[i])
+                            <= (heap[0][0], heap[0][1]))
+                take_heap = not take_arr
+            if take_arr:
+                nid = ids[i]
+                end = ends[i]
+                i += 1
+                if nid in members:
+                    index[nid] = (end, nid)
+                    reg.append(nid)
+                    pairs.append((end, nid))
+            elif take_heap:
+                _, nid, entry, end = heappop(heap)
+                if nid in members:
+                    self._file_ready(entry, end)
+            else:
+                break
+        if len(pairs) > 8 and 4 * len(pairs) > len(stale):
+            stale.extend(pairs)
+            heapq.heapify(stale)
+        else:
+            for pair in pairs:
+                heapq.heappush(stale, pair)
+
+    # ------------------------------------------------------------------
+    # stale sweep (expired ready entries -> refile)
+    # ------------------------------------------------------------------
     def _sweep_stale(self, t: float) -> None:
         """Refile every ready entry whose interval has already ended.
 
         Only the probes call this — :meth:`acquire` keeps the
         historical lazy validation so its RNG draw sequence is
-        unchanged.  Refiled nodes leave ghosts in the draw lists;
-        compact those away once they dominate (never triggers in runs
-        that only acquire, so fixed-seed traces are unaffected).
+        unchanged.  Mirrors :meth:`_promote`: one cut of the stale
+        epoch when the overflow heap holds nothing due, a scalar
+        ``(end, id)`` merge otherwise.  Refiles performed here file
+        intervals with ``end > t`` only, so they never extend the cut
+        being processed.  Refiled nodes leave ghosts in the draw
+        lists; compact those away once they dominate (never triggers
+        in runs that only acquire, so fixed-seed traces are
+        unaffected).
         """
-        stale = self._stale
+        se = self._stale_end
+        pos = self._stale_pos
+        heap = self._stale
         index = self._ready_end_of
-        while stale and stale[0][0] <= t:
-            end, nid = heapq.heappop(stale)
-            entry = index.get(nid)
-            if entry is None or entry[0] != end:
-                continue  # the node left ready (or was refiled) already
-            del index[nid]
-            self._enqueue(entry[1], t)
+        if pos < se.shape[0] and se[pos] <= t:
+            if not heap or heap[0][0] > t:
+                hi = int(np.searchsorted(se, t, side="right"))
+                ends = se[pos:hi].tolist()
+                nids = self._stale_id[pos:hi].tolist()
+                self._stale_pos = hi
+                for end, nid in zip(ends, nids):
+                    entry = index.get(nid)
+                    if entry is None or entry[0] != end:
+                        continue
+                    del index[nid]
+                    self._enqueue(entry[1], t)
+            else:
+                self._sweep_merge(t)
+        else:
+            while heap and heap[0][0] <= t:
+                end, nid = heapq.heappop(heap)
+                entry = index.get(nid)
+                if entry is None or entry[0] != end:
+                    continue
+                del index[nid]
+                self._enqueue(entry[1], t)
         ghosts = (len(self._ready_reg) + len(self._ready_cloud)
                   - len(index))
-        if ghosts > len(index) + 8:
-            self._ready_reg = [e for e in self._ready_reg
-                               if self._id_of(e) in index]
-            self._ready_cloud = [e for e in self._ready_cloud
-                                 if self._id_of(e) in index]
+        if ghosts > 8 and ghosts > len(index):
+            self._compact_ghosts()
 
-    # ------------------------------------------------------------------
-    def _pop_from(self, ready: List[_Entry], t: float
-                  ) -> Optional[Tuple[_Entry, float]]:
+    def _sweep_merge(self, t: float) -> None:
+        """Scalar sweep merging epoch head vs heap head on
+        ``(end, id)`` — the historical all-heap pop order.  A key
+        duplicated across epoch and heap (a node released back within
+        its filing interval) processes epoch-first; the loser fails
+        the index-end validation exactly like the historical second
+        heap copy did."""
+        se, sid = self._stale_end, self._stale_id
+        n = se.shape[0]
+        heap = self._stale
         index = self._ready_end_of
-        while ready:
-            i = int(self._rng.integers(len(ready)))
-            ready[i], ready[-1] = ready[-1], ready[i]
-            entry = ready.pop()
-            nid = entry if type(entry) is int else entry.node_id
-            if nid not in index:
-                continue  # retired, or a ghost left behind by a sweep
-            iv = self._interval_at(entry, t)
-            if iv is None:
-                # Stale: its interval ended while it sat idle; refile.
-                del index[nid]
-                self._enqueue(entry, t)
+        pos = self._stale_pos
+        while True:
+            take_arr = pos < n and se[pos] <= t
+            take_heap = bool(heap) and heap[0][0] <= t
+            if take_arr and take_heap:
+                take_arr = ((se[pos], sid[pos])
+                            <= (heap[0][0], heap[0][1]))
+                take_heap = not take_arr
+            if take_arr:
+                end = float(se[pos])
+                nid = int(sid[pos])
+                pos += 1
+            elif take_heap:
+                end, nid = heapq.heappop(heap)
+            else:
+                break
+            entry = index.get(nid)
+            if entry is None or entry[0] != end:
                 continue
             del index[nid]
-            return entry, iv[1]
+            self._enqueue(entry[1], t)
+        self._stale_pos = pos
+
+    def _compact_ghosts(self) -> None:
+        """Drop draw-list entries whose id left the ready index, and
+        all-but-one copies of ids that were sweep-refiled back in (the
+        refile appends a fresh copy without removing the old one, so
+        an id can hold several list slots while the index holds one —
+        keeping only the first copy restores list length == index
+        size and stops the compaction trigger from re-firing)."""
+        POOL_STATS["ghost_compactions"] += 1
+        index = self._ready_end_of
+        for attr in ("_ready_reg", "_ready_cloud"):
+            lst = getattr(self, attr)
+            if not lst:
+                continue
+            seen: set[int] = set()
+            out = []
+            for entry in lst:
+                nid = entry if type(entry) is int else entry.node_id
+                if nid in index and nid not in seen:
+                    seen.add(nid)
+                    out.append(entry)
+            setattr(self, attr, out)
+
+    # ------------------------------------------------------------------
+    def _draw(self, t: float) -> Optional[Tuple[Node, float]]:
+        """One weighted draw over the (already promoted) ready lists —
+        the historical :meth:`acquire` body, draw for draw.
+
+        The swap-pop is inlined (it used to live in a ``_pop_from``
+        helper) with hoisted locals: the draw loop runs thousands of
+        times per arrival storm and the per-call overhead dominated
+        its profile.  ``_ready_reg``/``_ready_cloud`` are rebound only
+        by :meth:`_compact_ghosts` (sweeps, never draws), so holding
+        the list objects across the loop is safe; the stale refiles a
+        draw performs always file intervals starting after ``t``, so
+        they never grow the lists mid-draw either.
+        """
+        POOL_STATS["acquires"] += 1
+        rng = self._rng
+        index = self._ready_end_of
+        reg = self._ready_reg
+        cloud = self._ready_cloud
+        weight = self.cloud_poll_weight
+        cols = self._columns
+        views = self._views
+        while reg or cloud:
+            w_cloud = weight * len(cloud)
+            w_total = w_cloud + len(reg)
+            pick_cloud = (w_cloud > 0
+                          and rng.random() * w_total < w_cloud)
+            ready = cloud if pick_cloud else reg
+            while ready:
+                i = int(rng.integers(len(ready)))
+                ready[i], ready[-1] = ready[-1], ready[i]
+                entry = ready.pop()
+                nid = entry if type(entry) is int else entry.node_id
+                rec = index.get(nid)
+                if rec is None:
+                    continue  # retired, or a ghost left by a sweep
+                end = rec[0]
+                if end > t:
+                    # Filed end still ahead: the node was filed inside
+                    # an interval no later than ``t`` (time only moves
+                    # forward after filing), so ``t`` sits inside that
+                    # same interval and its end IS the filed end — the
+                    # ``interval_at`` lookup is provably this value.
+                    del index[nid]
+                    if type(entry) is int:
+                        view = views.get(entry)
+                        if view is None:
+                            view = views[entry] = ColumnNode(cols, entry)
+                        return view, end
+                    return entry, end
+                # Filed interval lapsed; only a full lookup can tell a
+                # node inside a *later* interval (hand it out with that
+                # end) from one in a gap (stale: refile).
+                iv = (cols.interval_at(entry, t) if type(entry) is int
+                      else entry.interval_at(t))
+                del index[nid]
+                if iv is None:
+                    self._enqueue(entry, t)
+                    continue
+                if type(entry) is int:
+                    view = views.get(entry)
+                    if view is None:
+                        view = views[entry] = ColumnNode(cols, entry)
+                    return view, iv[1]
+                return entry, iv[1]
+            # Chosen side was entirely stale; loop re-weights what's left.
         return None
+
+    def ready_hint(self, t: float) -> int:
+        """Cheap estimate of how many draws could succeed at ``t``,
+        touching no state.
+
+        Counts the ready index (which may still hold entries whose
+        interval has lapsed but which no sweep refiled yet) plus the
+        due slice of the future epoch (which may hold removed members)
+        plus one for a due overflow-heap head.  Purely a routing hint
+        for the dispatch plane: both dispatch strategies are
+        transcript-identical, so a wrong estimate can never change
+        results — only which (equivalent) loop runs.
+        """
+        hint = len(self._ready_end_of)
+        fs = self._fut_start
+        pos = self._fut_pos
+        if pos < fs.shape[0] and fs[pos] <= t:
+            hint += int(np.searchsorted(fs, t, side="right")) - pos
+        if self._future and self._future[0][0] <= t:
+            hint += 1
+        return hint
 
     def acquire(self, t: float) -> Optional[Tuple[Node, float]]:
         """Pop an idle node available at time ``t`` (poll-weighted).
@@ -329,17 +652,38 @@ class NodePool:
         :meth:`preempted` (availability interval ended under it).
         """
         self._promote(t)
-        while self._ready_reg or self._ready_cloud:
-            w_cloud = self.cloud_poll_weight * len(self._ready_cloud)
-            w_total = w_cloud + len(self._ready_reg)
-            pick_cloud = (w_cloud > 0
-                          and self._rng.random() * w_total < w_cloud)
-            got = self._pop_from(
-                self._ready_cloud if pick_cloud else self._ready_reg, t)
-            if got is not None:
-                return self._out(got[0]), got[1]
-            # Chosen side was entirely stale; loop re-weights what's left.
-        return None
+        return self._draw(t)
+
+    def acquire_many(self, t: float, k: int
+                     ) -> List[Tuple[Node, float]]:
+        """Up to ``k`` acquisitions at ``t``, stopping at the first dry
+        draw — RNG-identical to ``k`` sequential :meth:`acquire` calls.
+
+        Exactness: each scalar acquire is promote + draw.  After the
+        first promote at ``t`` nothing with ``start <= t`` remains in
+        the future store, and a draw never files nodes with
+        ``start <= t`` (its lazy refiles go to intervals starting
+        later), so the follow-up promotes are no-ops — eliding them
+        changes no state and consumes no RNG.  The draws themselves
+        run the unmodified scalar loop.  A dry draw consumes the same
+        ghost-skip RNG sequence as a scalar acquire returning None,
+        after which the scalar caller (the dispatch loop) stopped
+        acquiring — so stopping here matches it draw for draw.  Any
+        caller that mutates the pool between draws (release, add)
+        must use scalar :meth:`acquire` instead.
+        """
+        if k <= 0:
+            return []  # zero acquires touch nothing, not even a promote
+        POOL_STATS["bulk_batches"] += 1
+        self._promote(t)
+        out: List[Tuple[Node, float]] = []
+        draw = self._draw
+        for _ in range(k):
+            got = draw(t)
+            if got is None:
+                break
+            out.append(got)
+        return out
 
     def release(self, node: Node, t: float) -> None:
         """Return a node that is still alive at ``t`` (task finished)."""
@@ -377,11 +721,22 @@ class NodePool:
         self._sweep_stale(t)
         if self._ready_end_of:
             return t  # available now — caller can acquire
-        while self._future and self._future[0][1] not in self._members:
-            heapq.heappop(self._future)
-        if self._future:
-            return self._future[0][0]
-        return None
+        members = self._members
+        fid = self._fut_id
+        pos = self._fut_pos
+        n = fid.shape[0]
+        while pos < n and int(fid[pos]) not in members:
+            pos += 1  # retired epoch heads, dropped like heap pops below
+        self._fut_pos = pos
+        heap = self._future
+        while heap and heap[0][1] not in members:
+            heapq.heappop(heap)
+        best: Optional[float] = None
+        if pos < n:
+            best = float(self._fut_start[pos])
+        if heap and (best is None or heap[0][0] < best):
+            best = heap[0][0]
+        return best
 
     def idle_count(self, t: float) -> int:
         """Idle nodes available right now (index size after a sweep)."""
@@ -390,5 +745,7 @@ class NodePool:
         return len(self._ready_end_of)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        future = (self._fut_start.shape[0] - self._fut_pos
+                  + len(self._future))
         return (f"<NodePool size={self.size} ready={len(self._ready_end_of)} "
-                f"future~{len(self._future)}>")
+                f"future~{future}>")

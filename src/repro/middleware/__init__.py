@@ -28,13 +28,19 @@ __all__ = [
 
 MIDDLEWARE_NAMES = ("boinc", "xwhep")
 
+_SERVER_CLASSES = {"boinc": BoincServer, "xwhep": XWHepServer}
+
+
+def resolve_server(kind):
+    """The server class for a middleware name (assembly-cacheable)."""
+    try:
+        return _SERVER_CLASSES[kind.lower()]
+    except KeyError:
+        raise ValueError(f"unknown middleware {kind!r}; expected one of "
+                         f"{MIDDLEWARE_NAMES}") from None
+
 
 def make_server(kind, sim, pool, config=None, name=None):
     """Factory: build a BOINC or XWHEP server by name."""
-    kind = kind.lower()
-    if kind == "boinc":
-        return BoincServer(sim, pool, config=config, name=name or "boinc")
-    if kind == "xwhep":
-        return XWHepServer(sim, pool, config=config, name=name or "xwhep")
-    raise ValueError(f"unknown middleware {kind!r}; expected one of "
-                     f"{MIDDLEWARE_NAMES}")
+    cls = resolve_server(kind)
+    return cls(sim, pool, config=config, name=name or kind.lower())

@@ -1,0 +1,79 @@
+"""Columnar task state mirrored alongside ``TaskState`` objects.
+
+The bulk dispatch pass (:meth:`DGServer._dispatch`) resolves its
+candidate set with vectorized masks — "which pending entries are not
+done", "do any live workunits already have assignments" — instead of
+touching one Python object per queue entry.  :class:`TaskColumns`
+holds the fields those masks read as flat NumPy arrays, one row per
+task ever admitted to a server:
+
+* ``done`` — ``bool``; the task reached completion;
+* ``outstanding`` — ``int32``; replicas currently executing;
+* ``first_assign`` — ``float64``; first assignment time (NaN = never
+  assigned — mirrors the object field's ``None``);
+* ``cloud_dups`` — ``int32``; replicas currently on cloud workers.
+
+**Sync invariant** (the PR 8 ``HandleLedger`` discipline): every
+mutation of a mirrored field goes through a ``TaskState`` mutator
+method (:meth:`TaskState.mark_done`, :meth:`~TaskState.add_outstanding`,
+:meth:`~TaskState.set_first_assign`, :meth:`~TaskState.add_cloud_dups`)
+which writes the object field and the column cell in one step; the
+object fields stay the source of truth and the columns never disagree.
+Direct attribute writes on a column-backed ``TaskState`` are a bug —
+``tests/test_dispatch_columns.py`` pins the invariant under random
+middleware churn.
+
+Rows are append-only (tasks are never forgotten within a run) and the
+arrays grow by amortized doubling, so ``add`` is O(1) and the masks
+index with the row lists gathered from the pending queue.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+__all__ = ["TaskColumns"]
+
+_CHUNK = 256
+
+
+class TaskColumns:
+    """Flat mirrors of the dispatch-relevant ``TaskState`` fields."""
+
+    __slots__ = ("n", "gtids", "done", "outstanding", "first_assign",
+                 "cloud_dups")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.gtids: List[int] = []
+        self.done = np.zeros(_CHUNK, dtype=bool)
+        self.outstanding = np.zeros(_CHUNK, dtype=np.int32)
+        self.first_assign = np.full(_CHUNK, np.nan, dtype=np.float64)
+        self.cloud_dups = np.zeros(_CHUNK, dtype=np.int32)
+
+    def add(self, gtid: int) -> int:
+        """Append a row for a newly admitted task; returns its row id."""
+        row = self.n
+        if row == self.done.shape[0]:
+            self._grow()
+        self.gtids.append(gtid)
+        self.n = row + 1
+        return row
+
+    def _grow(self) -> None:
+        cap = 2 * self.done.shape[0]
+        for name, fill in (("done", False), ("outstanding", 0),
+                           ("first_assign", np.nan), ("cloud_dups", 0)):
+            old = getattr(self, name)
+            new = np.full(cap, fill, dtype=old.dtype)
+            new[:old.shape[0]] = old
+            setattr(self, name, new)
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        live = int(np.sum(~self.done[:self.n]))
+        return f"<TaskColumns n={self.n} live={live}>"

@@ -176,6 +176,8 @@ class Simulation:
         self._in_batch = False
         #: callable -> batch handler (see register_batch)
         self._batch: Dict[Callable[..., Any], Callable[[list], Any]] = {}
+        #: callbacks fired when run() exits via stop() (see add_stop_hook)
+        self._stop_hooks: List[Callable[[], None]] = []
         self.events_processed = 0
 
     # ------------------------------------------------------------------
@@ -248,6 +250,21 @@ class Simulation:
     def unregister_batch(self, fn: Callable[..., Any]) -> None:
         self._batch.pop(fn, None)
 
+    def add_stop_hook(self, fn: Callable[[], None]) -> None:
+        """Run ``fn()`` when :meth:`run` returns because of :meth:`stop`.
+
+        Hooks fire after the event loop has exited, so they may cancel
+        or discard still-scheduled events without affecting the
+        transcript (those events were never going to execute).  They
+        are for terminal cleanup — e.g. the harness cancelling dead
+        dispatch wake-up timers once a campaign's watcher stops the
+        run.  Hooks do not fire on a horizon/`until` drain (the run
+        may legitimately be continued in phases).
+        """
+        if not callable(fn):
+            raise SimulationError("add_stop_hook expects a callable")
+        self._stop_hooks.append(fn)
+
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
@@ -286,6 +303,9 @@ class Simulation:
                 # runs still rest at the last event time so completion
                 # timestamps stay exact.
                 self.now = limit
+            if self._stopped:
+                for fn in self._stop_hooks:
+                    fn()
             return self.now
         finally:
             self._running = False

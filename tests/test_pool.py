@@ -277,3 +277,55 @@ def test_ready_future_busy_partition_members(specs, seed, ops):
     model.check_partition()
     for op, dt in ops:
         model.step(op, float(dt))
+
+
+# ---------------------------------------------------------------------------
+# ghost compaction (probe/acquire-alternating runs)
+# ---------------------------------------------------------------------------
+def _many_interval_nodes(n=4, periods=40):
+    """Nodes whose short intervals expire at every integer probe, so
+    each sweep refiles every node and leaves a ghost copy behind."""
+    return [volatile(i, [k + 0.0 for k in range(periods)],
+                     [k + 0.5 for k in range(periods)])
+            for i in range(n)]
+
+
+def test_sweep_refile_ghosts_are_compacted_away():
+    """Regression: a sweep-refiled node appends a fresh draw-list copy
+    without removing the old one, so every copy's id stays in the ready
+    index and the historical ``in index`` compaction filter removed
+    nothing — the ghost tail grew by n per sweep and the O(n) scan
+    re-triggered forever.  Deduplicating (first copy per indexed id
+    wins) must bring the tail to zero."""
+    from repro.infra.pool import POOL_STATS, reset_pool_stats
+    reset_pool_stats()
+    pool = NodePool(_many_interval_nodes(n=4, periods=40), rng=rng())
+    for step in range(30):
+        t = step + 0.75  # every interval filed before has expired
+        pool.has_ready(t)  # the probe sweeps and refiles
+        ghosts = (len(pool._ready_reg) + len(pool._ready_cloud)
+                  - len(pool._ready_end_of))
+        # the tail may grow between compactions, but never past the
+        # trigger threshold plus one sweep's worth of refiles
+        assert ghosts <= max(8, len(pool._ready_end_of)) + 4
+    assert POOL_STATS["ghost_compactions"] > 0
+    # after the final compaction cycle each indexed id appears at most
+    # once per draw list
+    ids = [e if type(e) is int else e.node_id for e in pool._ready_reg]
+    live = [i for i in ids if i in pool._ready_end_of]
+    assert len(live) == len(set(live))
+
+
+def test_ghost_compaction_keeps_pool_drawable():
+    """Compaction must only drop ghosts: every indexed node stays
+    acquirable afterwards."""
+    nodes = _many_interval_nodes(n=12, periods=40)
+    pool = NodePool(nodes, rng=rng(3))
+    for step in range(20):
+        pool.idle_count(step + 0.75)
+    t = 20.25  # inside interval [20, 20.5]
+    assert pool.idle_count(t) == 12
+    got = [pool.acquire(t) for _ in range(12)]
+    assert all(g is not None for g in got)
+    assert sorted(n.node_id for n, _end in got) == list(range(12))
+    assert pool.acquire(t) is None
